@@ -1,0 +1,122 @@
+package tlrob
+
+// Calibration tests: the synthetic workloads must realize the properties
+// the reproduction argument rests on (DESIGN.md §2) — the three ILP
+// classes must separate on single-threaded IPC, the memory-bound class
+// must actually miss in the L2, and the execution-bound class must not.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const calBudget = 25_000
+
+func classIPCs(t *testing.T) map[workload.ILPClass][]float64 {
+	t.Helper()
+	out := map[workload.ILPClass][]float64{}
+	for _, name := range workload.Names() {
+		p, _ := workload.ProfileFor(name)
+		res, err := RunSingle(name, Options{Budget: calBudget})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[p.Class] = append(out[p.Class], res.IPC)
+	}
+	return out
+}
+
+func TestClassIPCSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are slow")
+	}
+	ipcs := classIPCs(t)
+	maxOf := func(c workload.ILPClass) float64 {
+		m := 0.0
+		for _, v := range ipcs[c] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	minOf := func(c workload.ILPClass) float64 {
+		m := 1e9
+		for _, v := range ipcs[c] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	// Every low-ILP benchmark must be slower than every high-ILP one, by a
+	// wide margin; mid sits between the class extremes.
+	if maxOf(workload.LowILP) >= minOf(workload.HighILP)/3 {
+		t.Fatalf("low (max %.3f) and high (min %.3f) classes overlap",
+			maxOf(workload.LowILP), minOf(workload.HighILP))
+	}
+	if maxOf(workload.LowILP) >= minOf(workload.MidILP) {
+		t.Fatalf("low (max %.3f) and mid (min %.3f) classes overlap",
+			maxOf(workload.LowILP), minOf(workload.MidILP))
+	}
+	if minOf(workload.HighILP) <= 0.5 {
+		t.Fatalf("high-ILP class too slow: min %.3f", minOf(workload.HighILP))
+	}
+	if maxOf(workload.LowILP) >= 0.25 {
+		t.Fatalf("low-ILP class too fast: max %.3f", maxOf(workload.LowILP))
+	}
+}
+
+func TestMemoryBoundClassesMissInL2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are slow")
+	}
+	for _, name := range workload.Names() {
+		p, _ := workload.ProfileFor(name)
+		res, err := RunSingle(name, Options{Budget: calBudget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		misses := res.Raw.LoadL2Miss[0]
+		mpki := 1000 * float64(misses) / float64(res.Raw.Committed[0])
+		switch p.Class {
+		case workload.LowILP:
+			if mpki < 5 {
+				t.Errorf("%s: memory-bound benchmark has only %.1f L2 MPKI", name, mpki)
+			}
+		case workload.HighILP:
+			if mpki > 3 {
+				t.Errorf("%s: execution-bound benchmark has %.1f L2 MPKI", name, mpki)
+			}
+		}
+	}
+}
+
+func TestDoDDistributionSupportsThreshold16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are slow")
+	}
+	// Figure 1's premise: on memory-bound mixes, the majority of misses
+	// have fewer than 16 unexecuted younger instructions at service time.
+	mix, _ := MixByName("Mix 1")
+	res, err := RunMix(mix, Options{Budget: 50_000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Raw.DoDHist
+	if h.Total() < 1000 {
+		t.Fatalf("too few DoD observations: %d", h.Total())
+	}
+	below := uint64(0)
+	for v := 0; v < 16 && v < len(h.Counts); v++ {
+		below += h.Counts[v]
+	}
+	frac := float64(below) / float64(h.Total())
+	if frac < 0.5 {
+		t.Fatalf("only %.0f%% of misses below threshold 16 (paper: majority)", 100*frac)
+	}
+	if frac > 0.98 {
+		t.Fatalf("threshold 16 admits %.0f%% — distribution degenerate", 100*frac)
+	}
+}

@@ -1,0 +1,133 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// (1–7) and the two configuration tables. By default it runs everything;
+// individual artifacts can be selected with flags.
+//
+//	experiments -budget 200000            # full evaluation
+//	experiments -fig2 -budget 100000      # just the headline comparison
+//	experiments -table2 -list-config      # configuration summaries only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		budget  = flag.Uint64("budget", 200_000, "instructions per thread per run")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
+
+		listCfg = flag.Bool("list-config", false, "print the Table-1 machine configuration")
+		table2  = flag.Bool("table2", false, "print the Table-2 mixes")
+		fig1    = flag.Bool("fig1", false, "Figure 1: baseline DoD histogram")
+		fig2    = flag.Bool("fig2", false, "Figure 2: FT with 2-Level R-ROB16")
+		fig3    = flag.Bool("fig3", false, "Figure 3: DoD histogram with R-ROB16")
+		fig4    = flag.Bool("fig4", false, "Figure 4: FT with Relaxed R-ROB15")
+		fig5    = flag.Bool("fig5", false, "Figure 5: FT with CDR-ROB15")
+		fig6    = flag.Bool("fig6", false, "Figure 6: FT with P-ROB3/P-ROB5")
+		fig7    = flag.Bool("fig7", false, "Figure 7: DoD histogram with P-ROB5")
+		sweeps  = flag.Bool("sweeps", false, "parameter sweeps (DoD thresholds, L2 size, CDR delay)")
+	)
+	flag.Parse()
+
+	all := !(*listCfg || *table2 || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *sweeps)
+
+	out := os.Stdout
+	if *listCfg || all {
+		experiments.WriteTable1(out)
+		fmt.Fprintln(out)
+	}
+	if *table2 || all {
+		experiments.WriteTable2(out)
+		fmt.Fprintln(out)
+	}
+
+	r := experiments.NewRunner(experiments.Params{Budget: *budget, Seed: *seed, Workers: *workers})
+
+	runFT := func(title string, specs ...experiments.SchemeSpec) []experiments.SchemeSeries {
+		series, err := r.FTComparison(specs...)
+		fatal(err)
+		experiments.WriteFTTable(out, title, series)
+		fmt.Fprintln(out)
+		return series
+	}
+
+	var base []experiments.SchemeSeries
+	if *fig1 || all {
+		rows, err := r.DoDHistogram(experiments.Baseline32())
+		fatal(err)
+		experiments.WriteDoDHistogram(out, experiments.Fig1, rows)
+		fmt.Fprintln(out)
+	}
+	if *fig2 || all {
+		base = runFT(experiments.Fig2,
+			experiments.Baseline32(), experiments.Baseline128(), experiments.RROB(16))
+	}
+	if *fig3 || all {
+		rows, err := r.DoDHistogram(experiments.RROB(16))
+		fatal(err)
+		experiments.WriteDoDHistogram(out, experiments.Fig3, rows)
+		if len(base) == 3 {
+			var mean float64
+			for _, row := range rows {
+				mean += row.DoDMean
+			}
+			mean /= float64(len(rows))
+			fmt.Fprintf(out, "dependent growth vs Baseline_32: %+.1f%% (paper: +56%%)\n",
+				100*(mean/base[0].AvgDoD-1))
+		}
+		fmt.Fprintln(out)
+	}
+	if *fig4 || all {
+		runFT(experiments.Fig4,
+			experiments.Baseline32(), experiments.Baseline128(), experiments.RelaxedRROB(15))
+	}
+	if *fig5 || all {
+		runFT(experiments.Fig5,
+			experiments.Baseline32(), experiments.Baseline128(), experiments.CDRROB(15))
+	}
+	if *fig6 || all {
+		runFT(experiments.Fig6,
+			experiments.Baseline32(), experiments.PROB(3), experiments.PROB(5))
+	}
+	if *fig7 || all {
+		rows, err := r.DoDHistogram(experiments.PROB(5))
+		fatal(err)
+		experiments.WriteDoDHistogram(out, experiments.Fig7, rows)
+		if len(base) == 3 {
+			var mean float64
+			for _, row := range rows {
+				mean += row.DoDMean
+			}
+			mean /= float64(len(rows))
+			fmt.Fprintf(out, "dependent growth vs Baseline_32: %+.1f%% (paper: +120%%)\n",
+				100*(mean/base[0].AvgDoD-1))
+		}
+		fmt.Fprintln(out)
+	}
+	if *sweeps {
+		pts, err := r.SweepDoDThreshold([]int{1, 2, 4, 8, 16, 24, 31})
+		fatal(err)
+		experiments.WriteSweep(out, "Sweep: reactive DoD threshold (paper best: 16)", pts)
+		pts, err = r.SweepPredictiveThreshold([]int{1, 3, 5, 8, 16})
+		fatal(err)
+		experiments.WriteSweep(out, "Sweep: predictive DoD threshold (paper best: 3-5)", pts)
+		pts, err = r.SweepSecondLevelSize([]int{96, 192, 384, 768})
+		fatal(err)
+		experiments.WriteSweep(out, "Sweep: second-level ROB size (paper: 384)", pts)
+		pts, err = r.SweepCountDelay([]int{8, 16, 32, 64})
+		fatal(err)
+		experiments.WriteSweep(out, "Sweep: CDR snapshot delay (paper: 32)", pts)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

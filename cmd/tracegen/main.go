@@ -1,0 +1,114 @@
+// Command tracegen inspects the synthetic workloads: it prints a
+// benchmark's static program shape, generates a trace prefix, and reports
+// its operation mix, branch behaviour, dependence structure and working
+// set — the knobs DESIGN.md calibrates against SPEC-2000 characteristics.
+//
+//	tracegen -bench art -n 100000
+//	tracegen -bench art -n 1000000 -o art.trace   # record a binary trace
+//	tracegen -list
+//	tracegen -bench mcf -dump 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark to inspect")
+		n     = flag.Int("n", 100_000, "instructions to generate for statistics")
+		dump  = flag.Int("dump", 0, "also print the first N dynamic instructions")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		out   = flag.String("o", "", "record the generated trace to a binary file")
+		list  = flag.Bool("list", false, "list all benchmarks with their classes")
+	)
+	flag.Parse()
+
+	if *list || *bench == "" {
+		fmt.Printf("%-10s %-5s %6s %6s %6s %6s %10s\n",
+			"benchmark", "class", "load%", "store%", "br%", "chase%", "workingset")
+		for _, name := range workload.Names() {
+			p, _ := workload.ProfileFor(name)
+			fmt.Printf("%-10s %-5s %6.1f %6.1f %6.1f %6.1f %9dK\n",
+				p.Name, p.Class, 100*p.LoadFrac, 100*p.StoreFrac, 100*p.BranchFrac,
+				100*p.ChaseFrac, p.WorkingSet/1024)
+		}
+		return
+	}
+
+	prof, ok := workload.ProfileFor(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	gen, err := workload.NewGenerator(prof, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: class=%s static program=%d instructions\n", prof.Name, prof.Class, gen.ProgramLen())
+
+	if *dump > 0 {
+		var ti isa.TraceInst
+		for i := 0; i < *dump; i++ {
+			gen.Next(&ti)
+			fmt.Printf("%4d pc=%#x %-7v dest=%-3d src=%d,%d", i, ti.PC, ti.Op, ti.Dest, ti.Src1, ti.Src2)
+			if ti.Op.IsMem() {
+				fmt.Printf(" addr=%#x", ti.Addr)
+			}
+			if ti.Op == isa.OpBranch {
+				fmt.Printf(" taken=%v", ti.Taken)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		var ti isa.TraceInst
+		for i := 0; i < *n; i++ {
+			gen.Next(&ti)
+			if err := w.Write(&ti); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+		return
+	}
+
+	st := workload.Measure(gen, *n)
+	fmt.Printf("measured over %d instructions:\n", st.Total)
+	for op := isa.OpClass(0); op < isa.NumOpClasses; op++ {
+		if st.PerOp[op] == 0 {
+			continue
+		}
+		fmt.Printf("  %-8v %8d (%5.2f%%)\n", op, st.PerOp[op], 100*float64(st.PerOp[op])/float64(st.Total))
+	}
+	if st.Branches > 0 {
+		fmt.Printf("  branches taken: %.1f%%\n", 100*float64(st.Taken)/float64(st.Branches))
+	}
+}

@@ -1,0 +1,52 @@
+// Fetch-policy comparison: ICOUNT vs STALL vs FLUSH vs DCRA.
+//
+// Reproduces the related-work landscape (§2): the long-latency-load
+// handling policies the two-level ROB is built on top of, on one mixed
+// workload. DCRA is the paper's baseline; STALL and FLUSH gate or squash
+// threads with outstanding L2 misses.
+//
+//	go run ./examples/fetchpolicies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	budget := uint64(100_000)
+	mix, err := tlrob.MixByName("Mix 5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	singles, err := tlrob.SingleIPCs(mix.Benchmarks[:], tlrob.Options{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s)\n\n", mix.Name, mix.Classification)
+	fmt.Printf("%-8s %12s %10s %10s %12s\n",
+		"policy", "throughput", "FT", "flushes", "wrong-path")
+	for _, pol := range []tlrob.PolicyKind{tlrob.ICOUNT, tlrob.STALL, tlrob.FLUSH, tlrob.MLP, tlrob.DCRA} {
+		res, err := tlrob.RunMix(mix, tlrob.Options{Policy: pol, Budget: budget}, singles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v %12.4f %10.4f %10d %12d\n",
+			pol, res.Throughput, res.FairThroughput,
+			res.Raw.FlushSquashes, res.Raw.WrongPathDispatched)
+	}
+
+	fmt.Println("\nand the 2-level ROB on top of the DCRA baseline:")
+	res, err := tlrob.RunMix(mix,
+		tlrob.Options{Policy: tlrob.DCRA, Scheme: tlrob.Reactive, DoDThreshold: 16, Budget: budget},
+		singles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %12.4f %10.4f   (grants: %d, denied by DoD: %d)\n",
+		"R-ROB16", res.Throughput, res.FairThroughput,
+		res.Raw.ROBStats.Allocations, res.Raw.ROBStats.DeniedDoD)
+}

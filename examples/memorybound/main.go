@@ -1,0 +1,75 @@
+// Memory-bound acceleration: the paper's motivating scenario.
+//
+// A single memory-bound thread (art: streaming, frequent L2 misses, small
+// degree of dependence) is first shown alone under growing ROB sizes —
+// demonstrating how much memory-level parallelism a larger window unlocks —
+// and then inside a 4-thread mix, comparing how the 2-level ROB delivers
+// that window without taking it from the co-runners, whereas giving
+// everyone a 128-entry ROB (Baseline_128) collapses the fair throughput.
+//
+//	go run ./examples/memorybound
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	budget := uint64(100_000)
+
+	fmt.Println("art alone: window size vs IPC (MLP exploitation)")
+	soloRef, err := tlrob.RunSingle("art", tlrob.Options{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rob := range []int{32, 64, 128, 256, 416} {
+		res, err := tlrob.RunBenchmarks("art", []string{"art"},
+			tlrob.Options{Scheme: tlrob.Baseline, L1ROB: rob, Budget: budget},
+			map[string]float64{"art": soloRef.IPC})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ROB %3d: IPC %.4f (%.2fx the 32-entry window)\n",
+			rob, res.Threads[0].IPC, res.Threads[0].IPC/soloRef.IPC)
+	}
+
+	mix, _ := tlrob.MixByName("Mix 2") // art, mgrid, apsi + parser
+	singles, err := tlrob.SingleIPCs(mix.Benchmarks[:], tlrob.Options{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		name string
+		opt  tlrob.Options
+	}{
+		{"Baseline_32", tlrob.Options{Scheme: tlrob.Baseline, L1ROB: 32}},
+		{"Baseline_128", tlrob.Options{Scheme: tlrob.Baseline, L1ROB: 128}},
+		{"2-Level R-ROB16", tlrob.Options{Scheme: tlrob.Reactive, DoDThreshold: 16}},
+	}
+
+	fmt.Printf("\n%s in a 4-thread mix (%s):\n", mix.Name, mix.Classification)
+	fmt.Printf("%-16s", "config")
+	for _, b := range mix.Benchmarks {
+		fmt.Printf(" %9s", b)
+	}
+	fmt.Printf(" %8s\n", "FT")
+	for _, c := range configs {
+		c.opt.Budget = budget
+		res, err := tlrob.RunMix(mix, c.opt, singles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s", c.name)
+		for _, th := range res.Threads {
+			fmt.Printf(" %9.4f", th.WeightedIPC)
+		}
+		fmt.Printf(" %8.4f\n", res.FairThroughput)
+	}
+	fmt.Println("\ncolumns are weighted IPCs: the 2-level ROB accelerates the")
+	fmt.Println("memory-bound threads without collapsing the co-runners, while")
+	fmt.Println("Baseline_128's across-the-board windows clog the shared IQ.")
+}

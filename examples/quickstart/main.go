@@ -1,0 +1,57 @@
+// Quickstart: run the paper's headline comparison on one workload.
+//
+// Simulates Table 2's Mix 1 (four memory-bound SPEC-2000-like threads) on
+// the Baseline_32 machine and on the 2-Level R-ROB16 machine, and prints
+// the per-thread weighted IPCs and the fair-throughput improvement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	mix, err := tlrob.MixByName("Mix 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	budget := uint64(100_000)
+
+	// Single-threaded reference IPCs (weighted-IPC denominators), shared
+	// by both configurations.
+	singles, err := tlrob.SingleIPCs(mix.Benchmarks[:], tlrob.Options{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline := tlrob.Options{Scheme: tlrob.Baseline, L1ROB: 32, Budget: budget}
+	twoLevel := tlrob.Options{Scheme: tlrob.Reactive, DoDThreshold: 16, Budget: budget}
+
+	base, err := tlrob.RunMix(mix, baseline, singles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rrob, err := tlrob.RunMix(mix, twoLevel, singles)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s)\n\n", mix.Name, mix.Classification)
+	fmt.Printf("%-10s %14s %18s\n", "thread", "Baseline_32", "2-Level R-ROB16")
+	for i := range base.Threads {
+		fmt.Printf("%-10s %14.4f %18.4f\n",
+			base.Threads[i].Benchmark,
+			base.Threads[i].WeightedIPC,
+			rrob.Threads[i].WeightedIPC)
+	}
+	fmt.Printf("\nfair throughput: %.4f -> %.4f (%+.1f%%)\n",
+		base.FairThroughput, rrob.FairThroughput,
+		100*(rrob.FairThroughput/base.FairThroughput-1))
+	fmt.Printf("second-level grants: %d (mean dependents at service: %.1f)\n",
+		rrob.Raw.ROBStats.Allocations, rrob.DoDMean)
+}

@@ -1,0 +1,176 @@
+// Package cache models the paper's memory hierarchy (Table 1): split L1
+// instruction and data caches, a unified L2, a chunked-latency DRAM model,
+// and an MSHR file at the L2 that merges and overlaps outstanding misses —
+// the substrate for the Memory-Level Parallelism the two-level ROB exploits.
+package cache
+
+import "fmt"
+
+// Config describes one set-associative cache.
+type Config struct {
+	Name     string
+	SizeB    int // total bytes
+	Assoc    int
+	LineB    int // line size in bytes
+	HitCycle int // hit latency
+}
+
+// Validate checks the geometry.
+func (c *Config) Validate() error {
+	if c.SizeB <= 0 || c.Assoc <= 0 || c.LineB <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	}
+	if c.SizeB%(c.Assoc*c.LineB) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by assoc*line", c.Name, c.SizeB)
+	}
+	sets := c.SizeB / (c.Assoc * c.LineB)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	if c.LineB&(c.LineB-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineB)
+	}
+	return nil
+}
+
+// Stats counts accesses per cache.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement. Tags are
+// stored per way in flat arrays; there is no data storage (timing model
+// only). The zero value is unusable; use New.
+type Cache struct {
+	cfg      Config
+	sets     int
+	setMask  uint64
+	lineBits uint
+	tags     []uint64 // sets*assoc entries
+	valid    []bool
+	lru      []uint64 // last-touch stamp per way; smallest = LRU victim
+	stamp    uint64
+	stats    Stats
+}
+
+// New builds a cache from a validated config.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeB / (cfg.Assoc * cfg.LineB)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*cfg.Assoc),
+		valid:   make([]bool, sets*cfg.Assoc),
+		lru:     make([]uint64, sets*cfg.Assoc),
+	}
+	for b := cfg.LineB; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c, nil
+}
+
+// MustNew is New for static configs; panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Line returns the line-aligned address.
+func (c *Cache) Line(addr uint64) uint64 { return addr >> c.lineBits }
+
+func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
+
+// Access performs a lookup, fills on miss (LRU victim), and reports hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := c.Line(addr)
+	set := c.setOf(line)
+	base := set * c.cfg.Assoc
+	c.stats.Accesses++
+	hitWay := -1
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return true
+	}
+	c.stats.Misses++
+	c.fill(base, line)
+	return false
+}
+
+// Probe reports whether addr currently hits, without updating state or
+// statistics. Used by predictors and tests.
+func (c *Cache) Probe(addr uint64) bool {
+	line := c.Line(addr)
+	base := c.setOf(line) * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills a line without counting an access (e.g. prefetch or fill
+// from a lower level initiated elsewhere).
+func (c *Cache) Insert(addr uint64) {
+	line := c.Line(addr)
+	c.fill(c.setOf(line)*c.cfg.Assoc, line)
+}
+
+func (c *Cache) touch(base, way int) {
+	c.stamp++
+	c.lru[base+way] = c.stamp
+}
+
+func (c *Cache) fill(base int, line uint64) {
+	victim := 0
+	best := ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] < best {
+			best = c.lru[base+w]
+			victim = w
+		}
+	}
+	c.tags[base+victim] = line
+	c.valid[base+victim] = true
+	c.touch(base, victim)
+}
+
+// Flush invalidates the whole cache (tests only).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+}

@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCache(t *testing.T, sizeB, assoc, lineB int) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "t", SizeB: sizeB, Assoc: assoc, LineB: lineB, HitCycle: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeB: 0, Assoc: 1, LineB: 64},
+		{SizeB: 1024, Assoc: 0, LineB: 64},
+		{SizeB: 1000, Assoc: 2, LineB: 64},       // not divisible
+		{SizeB: 3 * 64 * 2, Assoc: 2, LineB: 64}, // 3 sets: not power of two
+		{SizeB: 1024, Assoc: 2, LineB: 48},       // line not power of two
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	good := Config{Name: "l1", SizeB: 32 * 1024, Assoc: 4, LineB: 32, HitCycle: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := testCache(t, 1024, 2, 64)
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1008) {
+		t.Fatal("same-line access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 2 sets, 64B lines: addresses 0, 128, 256 share set 0.
+	c := testCache(t, 256, 2, 64)
+	c.Access(0)
+	c.Access(128)
+	c.Access(0)   // 0 now MRU, 128 LRU
+	c.Access(256) // evicts 128
+	if !c.Probe(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Probe(128) {
+		t.Fatal("LRU line survived")
+	}
+	if !c.Probe(256) {
+		t.Fatal("filled line absent")
+	}
+}
+
+func TestLRUFillsDoNotDegenerate(t *testing.T) {
+	// Regression for the broken-aging bug: repeated fills into a full set
+	// must rotate through ways, not evict the same way forever.
+	c := testCache(t, 8*64, 8, 64) // one set, 8 ways
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i * 64)
+	}
+	// Insert 3 more lines; the 3 oldest (0,1,2) should be gone, 3..7 kept.
+	for i := uint64(8); i < 11; i++ {
+		c.Access(i * 64)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if c.Probe(i * 64) {
+			t.Fatalf("line %d should have been evicted", i)
+		}
+	}
+	for i := uint64(3); i < 11; i++ {
+		if !c.Probe(i * 64) {
+			t.Fatalf("line %d should be resident", i)
+		}
+	}
+}
+
+func TestProbeDoesNotTouch(t *testing.T) {
+	c := testCache(t, 128, 2, 64) // one set, 2 ways
+	c.Access(0)
+	c.Access(64)
+	c.Probe(0) // must NOT refresh line 0
+	c.Access(128)
+	// LRU order by accesses: 0 older than 64, so 0 evicted despite probe.
+	if c.Probe(0) {
+		t.Fatal("probe refreshed LRU state")
+	}
+	if before := c.Stats().Accesses; before != 3 {
+		t.Fatalf("probe counted as access: %d", before)
+	}
+}
+
+func TestInsertNoStats(t *testing.T) {
+	c := testCache(t, 1024, 2, 64)
+	c.Insert(0x40)
+	if st := c.Stats(); st.Accesses != 0 || st.Misses != 0 {
+		t.Fatalf("Insert changed stats: %+v", st)
+	}
+	if !c.Access(0x40) {
+		t.Fatal("inserted line missed")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := testCache(t, 1024, 2, 64)
+	c.Access(0x40)
+	c.Flush()
+	if c.Probe(0x40) {
+		t.Fatal("line survived flush")
+	}
+}
+
+func TestWorkingSetFitsNoSteadyMisses(t *testing.T) {
+	c := testCache(t, 4096, 4, 64)
+	for round := 0; round < 3; round++ {
+		for addr := uint64(0); addr < 4096; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 64 { // cold misses only
+		t.Fatalf("resident working set missed %d times, want 64 cold", st.Misses)
+	}
+}
+
+func TestWorkingSetExceedsAlwaysMisses(t *testing.T) {
+	c := testCache(t, 1024, 2, 64)
+	// Stream 4x the capacity twice: every access must miss (LRU + streaming).
+	misses0 := c.Stats().Misses
+	for round := 0; round < 2; round++ {
+		for addr := uint64(0); addr < 4096; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	st := c.Stats()
+	if got := st.Misses - misses0; got != 128 {
+		t.Fatalf("streaming over capacity: %d misses, want 128", got)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("idle miss rate not 0")
+	}
+	s = Stats{Accesses: 4, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Fatalf("miss rate %v", s.MissRate())
+	}
+}
+
+// Property: after accessing an address, it always probes resident.
+func TestQuickAccessThenResident(t *testing.T) {
+	c := testCache(t, 32*1024, 4, 32)
+	f := func(addr uint64) bool {
+		c.Access(addr)
+		return c.Probe(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of distinct resident lines never exceeds capacity.
+func TestQuickCapacityBound(t *testing.T) {
+	const lines = 16
+	c := testCache(t, lines*64, 4, 64)
+	seen := map[uint64]bool{}
+	f := func(addr uint64) bool {
+		c.Access(addr)
+		seen[addr>>6] = true
+		resident := 0
+		for line := range seen {
+			if c.Probe(line << 6) {
+				resident++
+			}
+		}
+		return resident <= lines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

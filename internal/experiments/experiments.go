@@ -1,0 +1,261 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): the DoD histograms of Figures 1, 3 and 7 and the
+// fair-throughput comparisons of Figures 2, 4, 5 and 6, over the eleven
+// Table-2 mixes. Runs are distributed across CPU cores; single-threaded
+// reference IPCs are computed once and shared.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Params controls the experiment sweep.
+type Params struct {
+	Budget  uint64 // instructions per thread per run
+	Seed    uint64
+	Workers int // concurrent simulations; 0 = GOMAXPROCS
+}
+
+// DefaultParams returns a laptop-scale sweep (the paper used 100M
+// SimPoints; 200k per thread preserves the steady-state shapes on the
+// synthetic workloads — see DESIGN.md).
+func DefaultParams() Params {
+	return Params{Budget: 200_000, Seed: 1}
+}
+
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SchemeSpec names one machine configuration of the evaluation.
+type SchemeSpec struct {
+	Label string
+	Opt   tlrob.Options
+}
+
+// Baseline32 is the paper's Baseline_32 reference machine.
+func Baseline32() SchemeSpec {
+	return SchemeSpec{Label: "Baseline_32", Opt: tlrob.Options{Scheme: tlrob.Baseline, L1ROB: 32}}
+}
+
+// Baseline128 is the same-total-entries single-level configuration.
+func Baseline128() SchemeSpec {
+	return SchemeSpec{Label: "Baseline_128", Opt: tlrob.Options{Scheme: tlrob.Baseline, L1ROB: 128}}
+}
+
+// RROB is 2-Level R-ROB with the given DoD threshold.
+func RROB(threshold int) SchemeSpec {
+	return SchemeSpec{
+		Label: fmt.Sprintf("2-Level R-ROB%d", threshold),
+		Opt:   tlrob.Options{Scheme: tlrob.Reactive, DoDThreshold: threshold},
+	}
+}
+
+// RelaxedRROB is 2-Level Relaxed R-ROB.
+func RelaxedRROB(threshold int) SchemeSpec {
+	return SchemeSpec{
+		Label: fmt.Sprintf("2-Level Relaxed R-ROB%d", threshold),
+		Opt:   tlrob.Options{Scheme: tlrob.RelaxedReactive, DoDThreshold: threshold},
+	}
+}
+
+// CDRROB is 2-Level CDR-ROB with the paper's 32-cycle count delay.
+func CDRROB(threshold int) SchemeSpec {
+	return SchemeSpec{
+		Label: fmt.Sprintf("2-Level CDR-ROB%d", threshold),
+		Opt:   tlrob.Options{Scheme: tlrob.CountDelayed, DoDThreshold: threshold, CountDelay: 32},
+	}
+}
+
+// PROB is 2-Level P-ROB with the given threshold.
+func PROB(threshold int) SchemeSpec {
+	return SchemeSpec{
+		Label: fmt.Sprintf("2-Level P-ROB%d", threshold),
+		Opt:   tlrob.Options{Scheme: tlrob.Predictive, DoDThreshold: threshold},
+	}
+}
+
+// MixRow is one mix's outcome under one scheme.
+type MixRow struct {
+	Mix            string
+	FairThroughput float64
+	Throughput     float64
+	DoDMean        float64
+	Result         tlrob.MixResult
+}
+
+// SchemeSeries is one scheme evaluated over all mixes.
+type SchemeSeries struct {
+	Label   string
+	Rows    []MixRow
+	AvgFT   float64 // arithmetic mean over mixes, as the paper's "Average" bar
+	AvgDoD  float64
+	AvgIPC  float64
+	Speedup float64 // vs the baseline series, filled by FTComparison
+}
+
+// Runner executes experiment sweeps with shared single-IPC references.
+type Runner struct {
+	params  Params
+	mu      sync.Mutex
+	singles map[string]float64
+}
+
+// NewRunner builds a runner.
+func NewRunner(p Params) *Runner {
+	return &Runner{params: p, singles: make(map[string]float64)}
+}
+
+// SingleIPCs returns (computing on first use) the single-threaded
+// reference IPC of every benchmark used by the Table-2 mixes.
+func (r *Runner) SingleIPCs() (map[string]float64, error) {
+	names := map[string]bool{}
+	for _, m := range workload.Mixes {
+		for _, b := range m.Benchmarks {
+			names[b] = true
+		}
+	}
+	var todo []string
+	r.mu.Lock()
+	for b := range names {
+		if _, ok := r.singles[b]; !ok {
+			todo = append(todo, b)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(todo)
+	if len(todo) == 0 {
+		return r.copySingles(), nil
+	}
+	opt := tlrob.Options{Budget: r.params.Budget, Seed: r.params.Seed}
+	err := r.parallel(len(todo), func(i int) error {
+		res, err := tlrob.RunSingle(todo[i], opt)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.singles[todo[i]] = res.IPC
+		r.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.copySingles(), nil
+}
+
+func (r *Runner) copySingles() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.singles))
+	for k, v := range r.singles {
+		out[k] = v
+	}
+	return out
+}
+
+// parallel runs fn(0..n-1) across the worker pool, returning the first error.
+func (r *Runner) parallel(n int, fn func(i int) error) error {
+	workers := r.params.workers()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errCh := make(chan error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					errCh <- err
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// RunScheme evaluates one scheme over all Table-2 mixes.
+func (r *Runner) RunScheme(spec SchemeSpec) (SchemeSeries, error) {
+	singles, err := r.SingleIPCs()
+	if err != nil {
+		return SchemeSeries{}, err
+	}
+	series := SchemeSeries{Label: spec.Label, Rows: make([]MixRow, len(workload.Mixes))}
+	opt := spec.Opt
+	opt.Budget = r.params.Budget
+	opt.Seed = r.params.Seed
+	err = r.parallel(len(workload.Mixes), func(i int) error {
+		mix := workload.Mixes[i]
+		res, err := tlrob.RunMix(mix, opt, singles)
+		if err != nil {
+			return err
+		}
+		series.Rows[i] = MixRow{
+			Mix:            mix.Name,
+			FairThroughput: res.FairThroughput,
+			Throughput:     res.Throughput,
+			DoDMean:        res.DoDMean,
+			Result:         res,
+		}
+		return nil
+	})
+	if err != nil {
+		return SchemeSeries{}, err
+	}
+	for _, row := range series.Rows {
+		series.AvgFT += row.FairThroughput
+		series.AvgDoD += row.DoDMean
+		series.AvgIPC += row.Throughput
+	}
+	n := float64(len(series.Rows))
+	series.AvgFT /= n
+	series.AvgDoD /= n
+	series.AvgIPC /= n
+	return series, nil
+}
+
+// FTComparison runs the baseline plus the given schemes and fills each
+// scheme's Speedup versus the first series (the Figure-2/4/5/6 layout).
+func (r *Runner) FTComparison(specs ...SchemeSpec) ([]SchemeSeries, error) {
+	out := make([]SchemeSeries, len(specs))
+	for i, spec := range specs {
+		s, err := r.RunScheme(spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	for i := range out {
+		out[i].Speedup = metrics.Speedup(out[0].AvgFT, out[i].AvgFT)
+	}
+	return out, nil
+}
+
+// DoDHistogram runs one scheme over all mixes and returns the per-mix
+// dependent-count histograms (Figures 1, 3, 7).
+func (r *Runner) DoDHistogram(spec SchemeSpec) ([]MixRow, error) {
+	s, err := r.RunScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Rows, nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyRunner() *Runner {
+	return NewRunner(Params{Budget: 6_000, Seed: 1})
+}
+
+func TestSingleIPCsCached(t *testing.T) {
+	r := tinyRunner()
+	a, err := r.SingleIPCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) < 15 {
+		t.Fatalf("%d single IPCs", len(a))
+	}
+	b, err := r.SingleIPCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("cache miss for %s", k)
+		}
+	}
+}
+
+func TestRunSchemeShape(t *testing.T) {
+	r := tinyRunner()
+	s, err := r.RunScheme(Baseline32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 11 {
+		t.Fatalf("%d rows", len(s.Rows))
+	}
+	if s.AvgFT <= 0 {
+		t.Fatalf("avg FT %v", s.AvgFT)
+	}
+	for _, row := range s.Rows {
+		if row.Result.Cycles == 0 {
+			t.Fatalf("%s did not run", row.Mix)
+		}
+	}
+}
+
+func TestFTComparisonSpeedups(t *testing.T) {
+	r := tinyRunner()
+	series, err := r.FTComparison(Baseline32(), RROB(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0].Speedup != 0 {
+		t.Fatalf("baseline speedup %v", series[0].Speedup)
+	}
+	if series[1].Label != "2-Level R-ROB16" {
+		t.Fatalf("label %q", series[1].Label)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := tinyRunner()
+	series, err := r.FTComparison(Baseline32(), RROB(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteFTTable(&sb, Fig2, series)
+	out := sb.String()
+	for _, want := range []string{"Mix 1", "Mix 11", "Average", "Speedup", "Baseline_32"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	rows, err := r.DoDHistogram(Baseline32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	WriteDoDHistogram(&sb, Fig1, rows)
+	if !strings.Contains(sb.String(), "mean") || !strings.Contains(sb.String(), "M11") {
+		t.Fatalf("histogram table malformed:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	WriteTable1(&sb)
+	if !strings.Contains(sb.String(), "500-cycle first chunk") {
+		t.Fatal("Table 1 missing memory row")
+	}
+	sb.Reset()
+	WriteTable2(&sb)
+	if !strings.Contains(sb.String(), "Mix 10") {
+		t.Fatal("Table 2 missing rows")
+	}
+}
+
+func TestSchemeSpecLabels(t *testing.T) {
+	cases := map[string]SchemeSpec{
+		"Baseline_32":             Baseline32(),
+		"Baseline_128":            Baseline128(),
+		"2-Level R-ROB16":         RROB(16),
+		"2-Level Relaxed R-ROB15": RelaxedRROB(15),
+		"2-Level CDR-ROB15":       CDRROB(15),
+		"2-Level P-ROB5":          PROB(5),
+	}
+	for want, spec := range cases {
+		if spec.Label != want {
+			t.Errorf("label %q != %q", spec.Label, want)
+		}
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	r := tinyRunner()
+	pts, err := r.SweepDoDThreshold([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Value != 4 || pts[1].Value != 16 {
+		t.Fatalf("points: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.AvgFT <= 0 {
+			t.Fatalf("degenerate sweep point %+v", p)
+		}
+	}
+	var sb strings.Builder
+	WriteSweep(&sb, "t", pts)
+	if !strings.Contains(sb.String(), "avg FT") {
+		t.Fatal("sweep rendering broken")
+	}
+}
+
+func TestDoDGrowth(t *testing.T) {
+	a := SchemeSeries{AvgDoD: 10}
+	b := SchemeSeries{AvgDoD: 15.6}
+	if g := DoDGrowth(a, b); g < 0.55 || g > 0.57 {
+		t.Fatalf("growth = %v", g)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// SweepPoint is one configuration of a parameter sweep with its outcome.
+type SweepPoint struct {
+	Label  string
+	Value  int
+	AvgFT  float64
+	AvgDoD float64
+}
+
+// sweep evaluates a family of configurations produced by mk over the full
+// mix suite.
+func (r *Runner) sweep(values []int, mk func(v int) SchemeSpec) ([]SweepPoint, error) {
+	out := make([]SweepPoint, len(values))
+	for i, v := range values {
+		spec := mk(v)
+		s, err := r.RunScheme(spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = SweepPoint{Label: spec.Label, Value: v, AvgFT: s.AvgFT, AvgDoD: s.AvgDoD}
+	}
+	return out, nil
+}
+
+// SweepDoDThreshold sweeps the reactive DoD threshold (§5.2: too-large
+// thresholds permit issue-queue clog; the paper's best is 16).
+func (r *Runner) SweepDoDThreshold(values []int) ([]SweepPoint, error) {
+	return r.sweep(values, func(v int) SchemeSpec { return RROB(v) })
+}
+
+// SweepPredictiveThreshold sweeps the predictive threshold (§5.3: the
+// paper's best is 3–5).
+func (r *Runner) SweepPredictiveThreshold(values []int) ([]SweepPoint, error) {
+	return r.sweep(values, func(v int) SchemeSpec { return PROB(v) })
+}
+
+// SweepSecondLevelSize sweeps the shared second-level capacity.
+func (r *Runner) SweepSecondLevelSize(values []int) ([]SweepPoint, error) {
+	return r.sweep(values, func(v int) SchemeSpec {
+		return SchemeSpec{
+			Label: fmt.Sprintf("L2ROB=%d", v),
+			Opt:   tlrob.Options{Scheme: tlrob.Reactive, DoDThreshold: 16, L2ROB: v},
+		}
+	})
+}
+
+// SweepCountDelay sweeps the CDR snapshot delay (§4.1's accuracy vs
+// exploitation-window trade-off).
+func (r *Runner) SweepCountDelay(values []int) ([]SweepPoint, error) {
+	return r.sweep(values, func(v int) SchemeSpec {
+		return SchemeSpec{
+			Label: fmt.Sprintf("CDR delay=%d", v),
+			Opt:   tlrob.Options{Scheme: tlrob.CountDelayed, DoDThreshold: 15, CountDelay: v},
+		}
+	})
+}
+
+// WriteSweep renders a sweep as a two-column series.
+func WriteSweep(w io.Writer, title string, points []SweepPoint) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %-16s %10s %10s\n", "config", "avg FT", "avg DoD")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-16s %10.4f %10.2f\n", p.Label, p.AvgFT, p.AvgDoD)
+	}
+}

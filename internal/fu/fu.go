@@ -1,0 +1,75 @@
+// Package fu models the function-unit pools of Table 1 with total/issue
+// latencies: a unit accepts a new instruction only when its issue interval
+// from the previous one has elapsed (pipelined units have interval 1;
+// dividers block for their full latency).
+package fu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Pools tracks per-unit availability for every FU kind.
+type Pools struct {
+	nextFree [isa.NumFUKinds][]int64
+	stats    Stats
+}
+
+// Stats counts issue activity per pool.
+type Stats struct {
+	Issued    [isa.NumFUKinds]uint64
+	Conflicts [isa.NumFUKinds]uint64 // issue attempts denied by busy units
+}
+
+// New builds the pools from the ISA's Table-1 unit counts.
+func New() *Pools {
+	p := &Pools{}
+	for k := isa.FUKind(0); k < isa.NumFUKinds; k++ {
+		p.nextFree[k] = make([]int64, isa.FUCounts[k])
+	}
+	return p
+}
+
+// NewWithCounts builds pools with custom unit counts (ablations).
+func NewWithCounts(counts [isa.NumFUKinds]int) (*Pools, error) {
+	p := &Pools{}
+	for k := isa.FUKind(0); k < isa.NumFUKinds; k++ {
+		if counts[k] < 1 {
+			return nil, fmt.Errorf("fu: pool %v needs at least one unit", k)
+		}
+		p.nextFree[k] = make([]int64, counts[k])
+	}
+	return p, nil
+}
+
+// TryIssue reserves a unit of the op's pool at cycle now, returning false
+// when every unit is busy. On success the unit is busy for the op's issue
+// interval.
+func (p *Pools) TryIssue(op isa.OpClass, now int64) bool {
+	t := isa.Timings[op]
+	units := p.nextFree[t.FU]
+	for i := range units {
+		if units[i] <= now {
+			units[i] = now + int64(t.IssueInterval)
+			p.stats.Issued[t.FU]++
+			return true
+		}
+	}
+	p.stats.Conflicts[t.FU]++
+	return false
+}
+
+// BusyCount returns how many units of a pool are busy at cycle now.
+func (p *Pools) BusyCount(kind isa.FUKind, now int64) int {
+	n := 0
+	for _, f := range p.nextFree[kind] {
+		if f > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the issue counters.
+func (p *Pools) Stats() Stats { return p.stats }

@@ -1,0 +1,85 @@
+package fu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestPoolWidth(t *testing.T) {
+	p := New()
+	// 8 integer adders: 8 issues in one cycle, the 9th is refused.
+	for i := 0; i < 8; i++ {
+		if !p.TryIssue(isa.OpIntAlu, 0) {
+			t.Fatalf("adder %d refused", i)
+		}
+	}
+	if p.TryIssue(isa.OpIntAlu, 0) {
+		t.Fatal("ninth adder issue succeeded")
+	}
+	if !p.TryIssue(isa.OpIntAlu, 1) {
+		t.Fatal("pipelined adders not free next cycle")
+	}
+	s := p.Stats()
+	if s.Issued[isa.FUIntAdd] != 9 || s.Conflicts[isa.FUIntAdd] != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestDividerBlocksForIssueInterval(t *testing.T) {
+	p := New()
+	// 4 integer dividers, issue interval 19.
+	for i := 0; i < 4; i++ {
+		if !p.TryIssue(isa.OpIntDiv, 0) {
+			t.Fatalf("divider %d refused", i)
+		}
+	}
+	if p.TryIssue(isa.OpIntDiv, 5) {
+		t.Fatal("divider free during issue interval")
+	}
+	if !p.TryIssue(isa.OpIntDiv, 19) {
+		t.Fatal("divider not free after issue interval")
+	}
+}
+
+func TestPoolsIndependent(t *testing.T) {
+	p := New()
+	for i := 0; i < 4; i++ {
+		p.TryIssue(isa.OpLoad, 0)
+	}
+	if p.TryIssue(isa.OpStore, 0) {
+		t.Fatal("load/store pool not shared between loads and stores")
+	}
+	if !p.TryIssue(isa.OpFPAdd, 0) {
+		t.Fatal("FP pool affected by load/store saturation")
+	}
+}
+
+func TestBusyCount(t *testing.T) {
+	p := New()
+	p.TryIssue(isa.OpFPDiv, 0) // busy for 12 cycles
+	if n := p.BusyCount(isa.FUFPMultDiv, 5); n != 1 {
+		t.Fatalf("busy = %d", n)
+	}
+	if n := p.BusyCount(isa.FUFPMultDiv, 12); n != 0 {
+		t.Fatalf("busy after interval = %d", n)
+	}
+}
+
+func TestCustomCounts(t *testing.T) {
+	var counts [isa.NumFUKinds]int
+	for k := range counts {
+		counts[k] = 1
+	}
+	p, err := NewWithCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.TryIssue(isa.OpIntAlu, 0) || p.TryIssue(isa.OpIntAlu, 0) {
+		t.Fatal("single-unit pool misbehaves")
+	}
+	counts[0] = 0
+	if _, err := NewWithCounts(counts); err == nil {
+		t.Fatal("zero-unit pool accepted")
+	}
+}

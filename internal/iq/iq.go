@@ -1,0 +1,181 @@
+// Package iq models the shared issue queue (Table 1: 64 entries for the
+// 4-way SMT machine). Entries hold renamed source operands with ready
+// bits; completed producers broadcast ("wakeup") and ready entries are
+// selected oldest-first up to the issue width. An instruction occupies its
+// entry from dispatch until it issues — which is precisely why
+// load-dependent instructions in the shadow of an L2 miss clog the queue,
+// the pressure the paper's DoD threshold exists to avoid.
+package iq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/uop"
+)
+
+// Entry is one issue-queue slot.
+type Entry struct {
+	H     uop.Handle
+	Seq   uint64
+	Op    isa.OpClass
+	Src   [2]int32
+	Rdy   [2]bool
+	Valid bool
+}
+
+// Ready reports whether both sources are available.
+func (e *Entry) Ready() bool { return e.Rdy[0] && e.Rdy[1] }
+
+// IQ is the shared issue queue.
+type IQ struct {
+	entries   []Entry
+	count     int
+	perThread []int
+	stats     Stats
+}
+
+// Stats counts queue activity.
+type Stats struct {
+	Inserted     uint64
+	Issued       uint64
+	Squashed     uint64
+	OccupancySum uint64 // summed each cycle by Tick for mean occupancy
+	Cycles       uint64
+}
+
+// New builds an issue queue with the given size and thread count.
+func New(size, threads int) (*IQ, error) {
+	if size < 1 || threads < 1 {
+		return nil, fmt.Errorf("iq: bad geometry size=%d threads=%d", size, threads)
+	}
+	return &IQ{
+		entries:   make([]Entry, size),
+		perThread: make([]int, threads),
+	}, nil
+}
+
+// Size returns the queue capacity.
+func (q *IQ) Size() int { return len(q.entries) }
+
+// Len returns the live entry count.
+func (q *IQ) Len() int { return q.count }
+
+// Free returns the number of free slots.
+func (q *IQ) Free() int { return len(q.entries) - q.count }
+
+// CountOf returns how many entries thread tid holds.
+func (q *IQ) CountOf(tid int) int { return q.perThread[tid] }
+
+// Stats returns the activity counters.
+func (q *IQ) Stats() Stats { return q.stats }
+
+// Tick accumulates occupancy statistics; call once per cycle.
+func (q *IQ) Tick() {
+	q.stats.OccupancySum += uint64(q.count)
+	q.stats.Cycles++
+}
+
+// Insert places an entry in a free slot, returning false when full.
+func (q *IQ) Insert(e Entry) bool {
+	if q.count == len(q.entries) {
+		return false
+	}
+	for i := range q.entries {
+		if !q.entries[i].Valid {
+			e.Valid = true
+			q.entries[i] = e
+			q.count++
+			q.perThread[e.H.Tid]++
+			q.stats.Inserted++
+			return true
+		}
+	}
+	panic("iq: count out of sync")
+}
+
+// Wakeup broadcasts a completed physical register to all waiting entries.
+func (q *IQ) Wakeup(phys int32) {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if !e.Valid {
+			continue
+		}
+		if e.Src[0] == phys {
+			e.Rdy[0] = true
+		}
+		if e.Src[1] == phys {
+			e.Rdy[1] = true
+		}
+	}
+}
+
+// CollectReady appends the indices of all ready entries to buf, sorted
+// oldest-first by sequence number, and returns it.
+func (q *IQ) CollectReady(buf []int) []int {
+	buf = buf[:0]
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.Valid && e.Ready() {
+			buf = append(buf, i)
+		}
+	}
+	sort.Slice(buf, func(a, b int) bool {
+		return q.entries[buf[a]].Seq < q.entries[buf[b]].Seq
+	})
+	return buf
+}
+
+// Entry returns the slot at index i.
+func (q *IQ) Entry(i int) *Entry { return &q.entries[i] }
+
+// Remove frees slot i (after issue).
+func (q *IQ) Remove(i int) {
+	e := &q.entries[i]
+	if !e.Valid {
+		panic("iq: removing invalid entry")
+	}
+	q.perThread[e.H.Tid]--
+	e.Valid = false
+	q.count--
+	q.stats.Issued++
+}
+
+// SquashYounger removes all of tid's entries younger than seq and returns
+// how many were dropped.
+func (q *IQ) SquashYounger(tid int8, seq uint64) int {
+	n := 0
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.Valid && e.H.Tid == tid && e.Seq > seq {
+			e.Valid = false
+			q.count--
+			q.perThread[tid]--
+			q.stats.Squashed++
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates the counters (tests only).
+func (q *IQ) CheckInvariants() error {
+	live := 0
+	per := make([]int, len(q.perThread))
+	for i := range q.entries {
+		if q.entries[i].Valid {
+			live++
+			per[q.entries[i].H.Tid]++
+		}
+	}
+	if live != q.count {
+		return fmt.Errorf("iq: count=%d live=%d", q.count, live)
+	}
+	for t := range per {
+		if per[t] != q.perThread[t] {
+			return fmt.Errorf("iq: thread %d count=%d live=%d", t, q.perThread[t], per[t])
+		}
+	}
+	return nil
+}

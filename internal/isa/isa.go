@@ -1,0 +1,185 @@
+// Package isa defines the synthetic instruction set simulated by the
+// pipeline: operation classes, architectural registers, function-unit
+// kinds and the Table-1 latency model of the paper's machine.
+//
+// The ISA is deliberately minimal — the paper's mechanisms depend only on
+// an instruction's operation class (which function unit it needs and for
+// how long), its register dependences, and, for memory operations, the
+// address it touches. Traces produced by package workload are streams of
+// TraceInst records in this ISA.
+package isa
+
+import "fmt"
+
+// OpClass identifies the kind of an instruction.
+type OpClass uint8
+
+const (
+	OpNop OpClass = iota
+	OpIntAlu
+	OpIntMult
+	OpIntDiv
+	OpLoad
+	OpStore
+	OpFPAdd
+	OpFPMult
+	OpFPDiv
+	OpFPSqrt
+	OpBranch
+
+	NumOpClasses
+)
+
+var opNames = [NumOpClasses]string{
+	"nop", "ialu", "imult", "idiv", "load", "store",
+	"fpadd", "fpmult", "fpdiv", "fpsqrt", "branch",
+}
+
+// String returns the mnemonic for the op class.
+func (c OpClass) String() string {
+	if int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return fmt.Sprintf("op(%d)", uint8(c))
+}
+
+// IsMem reports whether the class is a memory operation.
+func (c OpClass) IsMem() bool { return c == OpLoad || c == OpStore }
+
+// IsFP reports whether the class produces/consumes floating-point registers.
+func (c OpClass) IsFP() bool {
+	return c == OpFPAdd || c == OpFPMult || c == OpFPDiv || c == OpFPSqrt
+}
+
+// Architectural register file shape. Registers 0..NumIntRegs-1 are integer,
+// NumIntRegs..NumIntRegs+NumFPRegs-1 are floating point. RegNone marks an
+// absent operand.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+	RegNone    = -1
+)
+
+// IsFPReg reports whether architectural register r is a floating-point one.
+func IsFPReg(r int) bool { return r >= NumIntRegs }
+
+// FUKind identifies a function-unit pool (Table 1).
+type FUKind uint8
+
+const (
+	FUIntAdd FUKind = iota
+	FUIntMultDiv
+	FULoadStore
+	FUFPAdd
+	FUFPMultDiv
+
+	NumFUKinds
+)
+
+var fuNames = [NumFUKinds]string{"intadd", "intmuldiv", "ldst", "fpadd", "fpmuldiv"}
+
+// String returns the pool name.
+func (k FUKind) String() string {
+	if int(k) < len(fuNames) {
+		return fuNames[k]
+	}
+	return fmt.Sprintf("fu(%d)", uint8(k))
+}
+
+// OpTiming describes the execution timing of one op class on its unit:
+// Latency is the total execution latency in cycles; IssueInterval is the
+// number of cycles the unit is busy before it can accept another
+// instruction (Table 1's "total/issue" pair).
+type OpTiming struct {
+	FU            FUKind
+	Latency       int
+	IssueInterval int
+}
+
+// Timings is the Table-1 latency model. Loads use the Latency entry as
+// their cache-hit pipeline latency; cache misses extend it dynamically.
+var Timings = [NumOpClasses]OpTiming{
+	OpNop:     {FUIntAdd, 1, 1},
+	OpIntAlu:  {FUIntAdd, 1, 1},
+	OpIntMult: {FUIntMultDiv, 3, 1},
+	OpIntDiv:  {FUIntMultDiv, 20, 19},
+	OpLoad:    {FULoadStore, 2, 1},
+	OpStore:   {FULoadStore, 2, 1},
+	OpFPAdd:   {FUFPAdd, 2, 1},
+	OpFPMult:  {FUFPMultDiv, 4, 1},
+	OpFPDiv:   {FUFPMultDiv, 12, 12},
+	OpFPSqrt:  {FUFPMultDiv, 24, 24},
+	OpBranch:  {FUIntAdd, 1, 1},
+}
+
+// FUCounts is the number of units in each pool (Table 1: 8 Int Add, 4 Int
+// Mult/Div, 4 Load/Store, 8 FP Add, 4 FP Mult/Div/Sqrt).
+var FUCounts = [NumFUKinds]int{
+	FUIntAdd:     8,
+	FUIntMultDiv: 4,
+	FULoadStore:  4,
+	FUFPAdd:      8,
+	FUFPMultDiv:  4,
+}
+
+// Region is an address range a workload touches; the simulator prewarns
+// caches from these so short runs measure steady-state behaviour.
+type Region struct {
+	Base uint64
+	Size uint64
+	Code bool // instruction region (prewarm the I-cache side)
+}
+
+// TraceInst is one dynamic instruction in a synthetic trace. Src1/Src2 are
+// architectural source registers (RegNone if absent); Dest is the
+// architectural destination (RegNone for stores, branches and nops).
+type TraceInst struct {
+	PC    uint64
+	Op    OpClass
+	Dest  int8
+	Src1  int8
+	Src2  int8
+	Addr  uint64 // effective address for loads/stores
+	Taken bool   // actual outcome for branches
+}
+
+// HasDest reports whether the instruction writes a register.
+func (t *TraceInst) HasDest() bool { return t.Dest != RegNone }
+
+// Validate checks internal consistency of a trace record and returns a
+// descriptive error for malformed records. Used by tests and tracegen.
+func (t *TraceInst) Validate() error {
+	if t.Op >= NumOpClasses {
+		return fmt.Errorf("isa: bad op class %d", t.Op)
+	}
+	checkReg := func(name string, r int8) error {
+		if r != RegNone && (r < 0 || int(r) >= NumRegs) {
+			return fmt.Errorf("isa: %s register %d out of range", name, r)
+		}
+		return nil
+	}
+	if err := checkReg("dest", t.Dest); err != nil {
+		return err
+	}
+	if err := checkReg("src1", t.Src1); err != nil {
+		return err
+	}
+	if err := checkReg("src2", t.Src2); err != nil {
+		return err
+	}
+	switch t.Op {
+	case OpStore, OpBranch, OpNop:
+		if t.Dest != RegNone {
+			return fmt.Errorf("isa: %v must not write a register", t.Op)
+		}
+	case OpLoad:
+		if t.Dest == RegNone {
+			return fmt.Errorf("isa: load must write a register")
+		}
+	}
+	if t.Op.IsMem() && t.Addr == 0 {
+		return fmt.Errorf("isa: memory op with zero address")
+	}
+	return nil
+}

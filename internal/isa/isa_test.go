@@ -1,0 +1,129 @@
+package isa
+
+import "testing"
+
+func TestOpClassStrings(t *testing.T) {
+	cases := map[OpClass]string{
+		OpNop: "nop", OpIntAlu: "ialu", OpIntMult: "imult", OpIntDiv: "idiv",
+		OpLoad: "load", OpStore: "store", OpFPAdd: "fpadd", OpFPMult: "fpmult",
+		OpFPDiv: "fpdiv", OpFPSqrt: "fpsqrt", OpBranch: "branch",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := OpClass(200).String(); got != "op(200)" {
+		t.Errorf("unknown op string %q", got)
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		want := op == OpLoad || op == OpStore
+		if op.IsMem() != want {
+			t.Errorf("%v.IsMem() = %v", op, op.IsMem())
+		}
+	}
+}
+
+func TestIsFP(t *testing.T) {
+	fp := map[OpClass]bool{OpFPAdd: true, OpFPMult: true, OpFPDiv: true, OpFPSqrt: true}
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		if op.IsFP() != fp[op] {
+			t.Errorf("%v.IsFP() = %v", op, op.IsFP())
+		}
+	}
+}
+
+func TestIsFPReg(t *testing.T) {
+	if IsFPReg(0) || IsFPReg(NumIntRegs-1) {
+		t.Error("integer registers classified as FP")
+	}
+	if !IsFPReg(NumIntRegs) || !IsFPReg(NumRegs-1) {
+		t.Error("FP registers not classified as FP")
+	}
+}
+
+func TestTimingsComplete(t *testing.T) {
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		tm := Timings[op]
+		if tm.Latency < 1 {
+			t.Errorf("%v has latency %d", op, tm.Latency)
+		}
+		if tm.IssueInterval < 1 {
+			t.Errorf("%v has issue interval %d", op, tm.IssueInterval)
+		}
+		if tm.IssueInterval > tm.Latency {
+			t.Errorf("%v issue interval %d exceeds latency %d", op, tm.IssueInterval, tm.Latency)
+		}
+		if int(tm.FU) >= int(NumFUKinds) {
+			t.Errorf("%v has bad FU kind %v", op, tm.FU)
+		}
+	}
+}
+
+func TestTable1Latencies(t *testing.T) {
+	// Spot-check the values printed in Table 1.
+	checks := []struct {
+		op       OpClass
+		lat, iss int
+	}{
+		{OpIntAlu, 1, 1}, {OpIntMult, 3, 1}, {OpIntDiv, 20, 19},
+		{OpLoad, 2, 1}, {OpFPAdd, 2, 1}, {OpFPMult, 4, 1},
+		{OpFPDiv, 12, 12}, {OpFPSqrt, 24, 24},
+	}
+	for _, c := range checks {
+		if Timings[c.op].Latency != c.lat || Timings[c.op].IssueInterval != c.iss {
+			t.Errorf("%v timing = %+v, want %d/%d", c.op, Timings[c.op], c.lat, c.iss)
+		}
+	}
+}
+
+func TestFUCounts(t *testing.T) {
+	want := map[FUKind]int{
+		FUIntAdd: 8, FUIntMultDiv: 4, FULoadStore: 4, FUFPAdd: 8, FUFPMultDiv: 4,
+	}
+	for k, n := range want {
+		if FUCounts[k] != n {
+			t.Errorf("FUCounts[%v] = %d, want %d", k, FUCounts[k], n)
+		}
+	}
+}
+
+func TestTraceInstValidate(t *testing.T) {
+	good := []TraceInst{
+		{Op: OpIntAlu, Dest: 3, Src1: 1, Src2: 2},
+		{Op: OpLoad, Dest: 5, Src1: 1, Src2: RegNone, Addr: 0x1000},
+		{Op: OpStore, Dest: RegNone, Src1: 1, Src2: 2, Addr: 0x2000},
+		{Op: OpBranch, Dest: RegNone, Src1: 4, Src2: RegNone, Taken: true},
+		{Op: OpFPAdd, Dest: NumIntRegs + 1, Src1: NumIntRegs + 2, Src2: NumIntRegs + 3},
+	}
+	for i, ti := range good {
+		if err := ti.Validate(); err != nil {
+			t.Errorf("valid record %d rejected: %v", i, err)
+		}
+	}
+	bad := []TraceInst{
+		{Op: NumOpClasses, Dest: RegNone, Src1: RegNone, Src2: RegNone},
+		{Op: OpIntAlu, Dest: 70, Src1: 1, Src2: 2},
+		{Op: OpIntAlu, Dest: 1, Src1: -5, Src2: 2},
+		{Op: OpStore, Dest: 3, Src1: 1, Src2: 2, Addr: 0x10},
+		{Op: OpBranch, Dest: 3, Src1: 1, Src2: RegNone},
+		{Op: OpLoad, Dest: RegNone, Src1: 1, Src2: RegNone, Addr: 0x10},
+		{Op: OpLoad, Dest: 1, Src1: 1, Src2: RegNone, Addr: 0},
+	}
+	for i, ti := range bad {
+		if err := ti.Validate(); err == nil {
+			t.Errorf("invalid record %d accepted", i)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	ld := TraceInst{Op: OpLoad, Dest: 4}
+	st := TraceInst{Op: OpStore, Dest: RegNone}
+	if !ld.HasDest() || st.HasDest() {
+		t.Error("HasDest misclassifies")
+	}
+}

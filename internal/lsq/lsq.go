@@ -1,0 +1,172 @@
+// Package lsq models the private per-thread load/store queues (Table 1:
+// 48 entries per thread). The LSQ keeps memory operations in program
+// order, blocks a load while an older same-address store is unexecuted,
+// forwards store data to younger loads, and releases stores to the cache
+// hierarchy at commit.
+package lsq
+
+import "fmt"
+
+// Entry is one LSQ slot.
+type Entry struct {
+	RobSlot  int32
+	Seq      uint64
+	IsStore  bool
+	Addr     uint64 // 8-byte aligned effective address
+	Executed bool
+	valid    bool
+}
+
+// ring is one thread's queue.
+type ring struct {
+	entries []Entry
+	head    int32
+	count   int32
+}
+
+// LSQ is the set of per-thread load/store queues.
+type LSQ struct {
+	rings []ring
+	size  int32
+	stats Stats
+}
+
+// Stats counts LSQ activity.
+type Stats struct {
+	Inserted  uint64
+	Forwarded uint64
+	Blocked   uint64 // load-issue attempts blocked by an older store
+}
+
+// New builds queues for the given thread count and per-thread size.
+func New(threads, size int) (*LSQ, error) {
+	if threads < 1 || size < 1 {
+		return nil, fmt.Errorf("lsq: bad geometry threads=%d size=%d", threads, size)
+	}
+	l := &LSQ{rings: make([]ring, threads), size: int32(size)}
+	for i := range l.rings {
+		l.rings[i].entries = make([]Entry, size)
+	}
+	return l, nil
+}
+
+// Size returns the per-thread capacity.
+func (l *LSQ) Size() int { return int(l.size) }
+
+// Count returns thread tid's occupancy.
+func (l *LSQ) Count(tid int) int { return int(l.rings[tid].count) }
+
+// CanInsert reports whether tid has a free slot.
+func (l *LSQ) CanInsert(tid int) bool { return l.rings[tid].count < l.size }
+
+// Stats returns the activity counters.
+func (l *LSQ) Stats() Stats { return l.stats }
+
+// Insert appends a memory op at the tail and returns its slot.
+func (l *LSQ) Insert(tid int, robSlot int32, seq uint64, isStore bool, addr uint64) int32 {
+	r := &l.rings[tid]
+	if r.count == l.size {
+		panic("lsq: overflow")
+	}
+	slot := (r.head + r.count) % l.size
+	r.entries[slot] = Entry{
+		RobSlot: robSlot,
+		Seq:     seq,
+		IsStore: isStore,
+		Addr:    addr &^ 7,
+		valid:   true,
+	}
+	r.count++
+	l.stats.Inserted++
+	return slot
+}
+
+// MarkExecuted records that the op in (tid, slot) finished executing
+// (store: address and data available; load: data returned).
+func (l *LSQ) MarkExecuted(tid int, slot int32) {
+	e := &l.rings[tid].entries[slot]
+	if !e.valid {
+		panic("lsq: marking invalid entry")
+	}
+	e.Executed = true
+}
+
+// LoadCheck inspects the older stores for the load in (tid, slot):
+// blocked means an older same-address store has not executed yet (the load
+// must not issue); forward means the youngest older same-address store has
+// executed and its data can be forwarded.
+func (l *LSQ) LoadCheck(tid int, slot int32) (blocked, forward bool) {
+	r := &l.rings[tid]
+	e := &r.entries[slot]
+	addr := e.Addr
+	// Walk from the entry just older than the load back to the head; the
+	// first same-address store decides.
+	pos := (slot - r.head + l.size) % l.size
+	for i := pos - 1; i >= 0; i-- {
+		s := &r.entries[(r.head+i)%l.size]
+		if !s.IsStore || s.Addr != addr {
+			continue
+		}
+		if s.Executed {
+			l.stats.Forwarded++
+			return false, true
+		}
+		l.stats.Blocked++
+		return true, false
+	}
+	return false, false
+}
+
+// Head returns the oldest entry for tid, or nil.
+func (l *LSQ) Head(tid int) *Entry {
+	r := &l.rings[tid]
+	if r.count == 0 {
+		return nil
+	}
+	return &r.entries[r.head]
+}
+
+// PopHead removes the oldest entry (commit of a memory op).
+func (l *LSQ) PopHead(tid int) {
+	r := &l.rings[tid]
+	if r.count == 0 {
+		panic("lsq: pop from empty queue")
+	}
+	r.entries[r.head].valid = false
+	r.head = (r.head + 1) % l.size
+	r.count--
+}
+
+// PopTail removes the youngest entry during a squash walk; seq must match
+// the entry being squashed (consistency check).
+func (l *LSQ) PopTail(tid int, seq uint64) {
+	r := &l.rings[tid]
+	if r.count == 0 {
+		panic("lsq: squash pop from empty queue")
+	}
+	tail := (r.head + r.count - 1) % l.size
+	if r.entries[tail].Seq != seq {
+		panic(fmt.Sprintf("lsq: squash order violation: tail seq %d, want %d", r.entries[tail].Seq, seq))
+	}
+	r.entries[tail].valid = false
+	r.count--
+}
+
+// CheckInvariants verifies per-thread ordering (tests only).
+func (l *LSQ) CheckInvariants() error {
+	for t := range l.rings {
+		r := &l.rings[t]
+		var prev uint64
+		for i := int32(0); i < r.count; i++ {
+			e := &r.entries[(r.head+i)%l.size]
+			if !e.valid {
+				return fmt.Errorf("lsq: thread %d has invalid live entry", t)
+			}
+			if i > 0 && e.Seq <= prev {
+				return fmt.Errorf("lsq: thread %d out of order at %d", t, i)
+			}
+			prev = e.Seq
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newLSQ(t *testing.T, threads, size int) *LSQ {
+	t.Helper()
+	l, err := New(threads, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestInsertPopOrder(t *testing.T) {
+	l := newLSQ(t, 1, 4)
+	s1 := l.Insert(0, 10, 1, false, 0x100)
+	s2 := l.Insert(0, 11, 2, true, 0x200)
+	if l.Count(0) != 2 {
+		t.Fatalf("count = %d", l.Count(0))
+	}
+	if h := l.Head(0); h == nil || h.RobSlot != 10 {
+		t.Fatal("head is not the oldest entry")
+	}
+	l.PopHead(0)
+	if h := l.Head(0); h == nil || h.RobSlot != 11 {
+		t.Fatal("pop order wrong")
+	}
+	_ = s1
+	_ = s2
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	l := newLSQ(t, 2, 2)
+	l.Insert(0, 1, 1, false, 0x10)
+	l.Insert(0, 2, 2, false, 0x18)
+	if l.CanInsert(0) {
+		t.Fatal("full queue reports space")
+	}
+	if !l.CanInsert(1) {
+		t.Fatal("other thread blocked by full queue")
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	l := newLSQ(t, 1, 8)
+	st := l.Insert(0, 1, 1, true, 0x1000)
+	ld := l.Insert(0, 2, 2, false, 0x1000)
+	blocked, fwd := l.LoadCheck(0, ld)
+	if !blocked || fwd {
+		t.Fatal("load not blocked by unexecuted older store")
+	}
+	l.MarkExecuted(0, st)
+	blocked, fwd = l.LoadCheck(0, ld)
+	if blocked || !fwd {
+		t.Fatal("executed store did not forward")
+	}
+	s := l.Stats()
+	if s.Blocked != 1 || s.Forwarded != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestYoungestMatchingStoreWins(t *testing.T) {
+	l := newLSQ(t, 1, 8)
+	old := l.Insert(0, 1, 1, true, 0x2000)
+	young := l.Insert(0, 2, 2, true, 0x2000)
+	ld := l.Insert(0, 3, 3, false, 0x2000)
+	l.MarkExecuted(0, old)
+	// The youngest older store is unexecuted: the load must wait even
+	// though an older executed store matches.
+	if blocked, _ := l.LoadCheck(0, ld); !blocked {
+		t.Fatal("load bypassed the youngest matching store")
+	}
+	l.MarkExecuted(0, young)
+	if blocked, fwd := l.LoadCheck(0, ld); blocked || !fwd {
+		t.Fatal("load did not forward from youngest store")
+	}
+}
+
+func TestDifferentAddressesIndependent(t *testing.T) {
+	l := newLSQ(t, 1, 8)
+	l.Insert(0, 1, 1, true, 0x3000)
+	ld := l.Insert(0, 2, 2, false, 0x4000)
+	if blocked, fwd := l.LoadCheck(0, ld); blocked || fwd {
+		t.Fatal("unrelated store affected load")
+	}
+}
+
+func TestSubWordAliasing(t *testing.T) {
+	l := newLSQ(t, 1, 8)
+	l.Insert(0, 1, 1, true, 0x5004) // same 8-byte word as 0x5000
+	ld := l.Insert(0, 2, 2, false, 0x5000)
+	if blocked, _ := l.LoadCheck(0, ld); !blocked {
+		t.Fatal("8-byte aliasing not detected")
+	}
+}
+
+func TestPopTailSquash(t *testing.T) {
+	l := newLSQ(t, 1, 8)
+	l.Insert(0, 1, 1, false, 0x10)
+	l.Insert(0, 2, 2, true, 0x20)
+	l.PopTail(0, 2)
+	if l.Count(0) != 1 {
+		t.Fatalf("count = %d", l.Count(0))
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopTailOrderViolationPanics(t *testing.T) {
+	l := newLSQ(t, 1, 8)
+	l.Insert(0, 1, 1, false, 0x10)
+	l.Insert(0, 2, 2, false, 0x20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order squash pop did not panic")
+		}
+	}()
+	l.PopTail(0, 1) // tail has seq 2
+}
+
+func TestWrapAround(t *testing.T) {
+	l := newLSQ(t, 1, 3)
+	seq := uint64(0)
+	for round := 0; round < 5; round++ {
+		seq++
+		l.Insert(0, int32(seq), seq, false, 0x100*seq)
+		if round >= 2 {
+			l.PopHead(0)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := New(1, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+// Property: per-thread entries always pop in insertion (program) order
+// under random insert/pop-head/pop-tail sequences.
+func TestQuickProgramOrder(t *testing.T) {
+	f := func(ops []uint8) bool {
+		l, err := New(1, 8)
+		if err != nil {
+			return false
+		}
+		seq := uint64(0)
+		var pending []uint64 // seqs in queue, oldest first
+		for _, o := range ops {
+			switch o % 3 {
+			case 0: // insert
+				if !l.CanInsert(0) {
+					continue
+				}
+				seq++
+				l.Insert(0, int32(seq), seq, o%2 == 0, uint64(o)*8+8)
+				pending = append(pending, seq)
+			case 1: // commit oldest
+				if len(pending) == 0 {
+					continue
+				}
+				if l.Head(0).Seq != pending[0] {
+					return false
+				}
+				l.PopHead(0)
+				pending = pending[1:]
+			case 2: // squash youngest
+				if len(pending) == 0 {
+					continue
+				}
+				l.PopTail(0, pending[len(pending)-1])
+				pending = pending[:len(pending)-1]
+			}
+			if l.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return l.Count(0) == len(pending)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{0, 1, 1, 3, 7} {
+		h.Add(v)
+	}
+	if h.Total() != 5 || h.Sum() != 12 {
+		t.Fatalf("total=%d sum=%d", h.Total(), h.Sum())
+	}
+	if h.Counts[1] != 2 || h.Counts[0] != 1 {
+		t.Fatalf("counts: %v", h.Counts)
+	}
+	if got := h.Mean(); math.Abs(got-2.4) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(10)
+	if h.Overflow != 1 || h.Sum() != 10 {
+		t.Fatalf("overflow=%d sum=%d", h.Overflow, h.Sum())
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	h := NewHistogram(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative value accepted")
+		}
+	}()
+	h.Add(-1)
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(4), NewHistogram(4)
+	a.Add(1)
+	b.Add(2)
+	b.Add(9)
+	a.Merge(b)
+	if a.Total() != 3 || a.Counts[2] != 1 || a.Overflow != 1 || a.Sum() != 12 {
+		t.Fatalf("merged: %+v", a)
+	}
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	if NewHistogram(4).Mean() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}
+
+func TestWeightedIPC(t *testing.T) {
+	if got := WeightedIPC(0.5, 1.0); got != 0.5 {
+		t.Fatalf("weighted = %v", got)
+	}
+	if got := WeightedIPC(0.5, 0); got != 0 {
+		t.Fatalf("zero denominator = %v", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("unit mean = %v", got)
+	}
+	// harmonic(2, 2/3) = 2/(0.5+1.5) = 1
+	if got := HarmonicMean([]float64{2, 2.0 / 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("mixed mean = %v", got)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Fatal("starved thread must zero the FT metric")
+	}
+}
+
+func TestFairThroughputMatchesPaperFormula(t *testing.T) {
+	// FT = N / sum(1/w_i), the harmonic mean of weighted IPCs [7].
+	w := []float64{0.5, 0.25}
+	want := 2 / (1/0.5 + 1/0.25)
+	if got := FairThroughput(w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FT = %v, want %v", got, want)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.0, 1.3); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if Speedup(0, 2) != 0 {
+		t.Fatal("zero baseline speedup not 0")
+	}
+}
+
+// Property: the harmonic mean is never above the arithmetic mean and never
+// above the max element (for positive inputs).
+func TestQuickHarmonicBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		sum, maxV := 0.0, 0.0
+		for i, r := range raw {
+			vals[i] = float64(r)/100 + 0.01
+			sum += vals[i]
+			if vals[i] > maxV {
+				maxV = vals[i]
+			}
+		}
+		h := HarmonicMean(vals)
+		arith := sum / float64(len(vals))
+		return h <= arith+1e-9 && h <= maxV+1e-9 && h > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histograms count exactly what was added.
+func TestQuickHistogramAccounting(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram(16)
+		var sum uint64
+		for _, v := range vals {
+			h.Add(int(v))
+			sum += uint64(v)
+		}
+		return h.Total() == uint64(len(vals)) && h.Sum() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

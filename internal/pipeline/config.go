@@ -1,0 +1,129 @@
+// Package pipeline is the cycle-level out-of-order SMT core: an 8-wide
+// fetch/issue/commit machine with a shared issue queue, shared physical
+// register files, private per-thread LSQs and the two-level reorder buffer
+// under test. Each simulated cycle runs writeback → commit → ROB-scheme
+// tick → issue → dispatch → fetch, so results produced in a cycle wake
+// consumers for the next one.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/rob"
+)
+
+// Config assembles the full machine configuration (Table 1 defaults via
+// DefaultConfig).
+type Config struct {
+	Threads int
+
+	FetchWidth    int // instructions fetched per cycle (8)
+	FetchThreads  int // threads fetched per cycle (ICOUNT 2.8 → 2)
+	DispatchWidth int
+	IssueWidth    int
+	CommitWidth   int
+
+	FrontEndDepth int // cycles from fetch to dispatch-eligible
+	FrontEndBuf   int // per-thread fetch buffer entries
+
+	IQSize  int
+	LSQSize int // per thread
+	IntRegs int
+	FPRegs  int
+
+	ROB  rob.Config
+	Hier cache.HierConfig
+
+	PolicyKind policy.Kind
+	DCRAAlpha  float64
+
+	GShareEntries  int
+	GShareHistBits uint
+	BTBEntries     int
+	BTBAssoc       int
+	LoadHitEntries int
+	ReplayPenalty  int // extra load latency when the load-hit predictor mispredicts
+
+	MissDetectDelay int // cycles from load issue to L2-miss discovery (L1+L2 lookups)
+
+	// EarlyRegRelease enables the conservative early register deallocation
+	// of [24] (regfile.EarlyReleaser). Incompatible with the FLUSH policy,
+	// whose squashes are not covered by the branch-count safety rule.
+	EarlyRegRelease bool
+
+	Prewarm       bool  // prewarm caches from the sources' address regions
+	TrackExactDoD bool  // also compute the exact dataflow DoD per serviced miss
+	MaxCycles     int64 // safety stop; 0 = derive from the budget
+}
+
+// DefaultConfig returns the paper's Table-1 machine for the given thread
+// count and ROB configuration: 8-wide, 64-entry shared IQ, 48-entry
+// per-thread LSQ, 224+224 physical registers, DCRA fetch, gShare 2K/10-bit,
+// 2048-entry 2-way BTB, 1K-entry load-hit predictor.
+func DefaultConfig(threads int, robCfg rob.Config) Config {
+	return Config{
+		Threads:         threads,
+		FetchWidth:      8,
+		FetchThreads:    2,
+		DispatchWidth:   8,
+		IssueWidth:      8,
+		CommitWidth:     8,
+		FrontEndDepth:   3,
+		FrontEndBuf:     24,
+		IQSize:          64,
+		LSQSize:         48,
+		IntRegs:         224,
+		FPRegs:          224,
+		ROB:             robCfg,
+		Hier:            cache.DefaultHierConfig(),
+		PolicyKind:      policy.DCRA,
+		DCRAAlpha:       2,
+		GShareEntries:   2048,
+		GShareHistBits:  10,
+		BTBEntries:      2048,
+		BTBAssoc:        2,
+		LoadHitEntries:  1024,
+		ReplayPenalty:   3,
+		MissDetectDelay: 11,
+		Prewarm:         true,
+	}
+}
+
+// Validate cross-checks the machine configuration.
+func (c *Config) Validate() error {
+	if c.Threads < 1 {
+		return fmt.Errorf("pipeline: need at least one thread")
+	}
+	if c.Threads != c.ROB.Threads {
+		return fmt.Errorf("pipeline: %d threads but ROB configured for %d", c.Threads, c.ROB.Threads)
+	}
+	for _, w := range []struct {
+		name string
+		v    int
+	}{
+		{"fetch width", c.FetchWidth}, {"fetch threads", c.FetchThreads},
+		{"dispatch width", c.DispatchWidth}, {"issue width", c.IssueWidth},
+		{"commit width", c.CommitWidth}, {"front-end depth", c.FrontEndDepth},
+		{"front-end buffer", c.FrontEndBuf}, {"IQ size", c.IQSize},
+		{"LSQ size", c.LSQSize}, {"miss detect delay", c.MissDetectDelay},
+	} {
+		if w.v < 1 {
+			return fmt.Errorf("pipeline: %s must be positive", w.name)
+		}
+	}
+	if c.ReplayPenalty < 0 {
+		return fmt.Errorf("pipeline: negative replay penalty")
+	}
+	if c.EarlyRegRelease && c.PolicyKind == policy.FLUSH {
+		return fmt.Errorf("pipeline: early register release is unsafe under the FLUSH policy")
+	}
+	if err := c.ROB.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hier.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/uop"
+
+	"repro/internal/cache"
+	"repro/internal/fu"
+	"repro/internal/iq"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/predictor"
+	"repro/internal/regfile"
+	"repro/internal/rob"
+)
+
+// TraceSource supplies one thread's dynamic instruction stream.
+// workload.Generator implements it.
+type TraceSource interface {
+	// Next fills out with the next instruction on the thread's actual path.
+	Next(out *isa.TraceInst)
+	// BranchTarget returns the taken-target PC for the branch at pc.
+	BranchTarget(pc uint64) uint64
+}
+
+// RegionProvider is optionally implemented by trace sources that can
+// report their address ranges for cache prewarming.
+type RegionProvider interface {
+	Regions() []isa.Region
+}
+
+// feEntry is a fetched instruction waiting in the front end.
+type feEntry struct {
+	inst      isa.TraceInst
+	readyAt   int64
+	hist      uint64 // gshare history snapshot at prediction
+	predTaken bool
+	isBranch  bool
+	wrongPath bool
+}
+
+// thread is the per-thread front-end and bookkeeping state.
+type thread struct {
+	src TraceSource
+
+	// Front-end queue (fetched, not yet dispatched), plus a replay queue
+	// of real-path instructions squashed by a FLUSH so they can be
+	// re-fetched (a trace cannot rewind).
+	fq     feQueue
+	replay []isa.TraceInst
+
+	fetchStalledUntil int64
+	mispredPending    bool // a fetched mispredicted branch is unresolved
+	wrongPath         bool // fetching synthetic wrong-path instructions
+	flushWait         bool // FLUSH policy: gated until flushLoadSeq returns
+	flushLoadSeq      uint64
+
+	committed uint64
+	fetched   uint64
+	finished  bool
+
+	pendingDMiss  int // issued loads with an L1D miss outstanding
+	pendingL2Miss int // detected, unserviced L2 misses
+
+	intRegs, fpRegs int // in-flight physical registers held
+
+	// MLP-policy episode tracking: the load that opened the current miss
+	// episode, the misses observed since, and the episode's prediction.
+	episodePC     uint64
+	episodeMisses int
+	predictedMLP  int
+
+	wpCounter uint64 // wrong-path synthesis state
+}
+
+// Stats aggregates run-wide counters beyond the substrates' own stats.
+type Stats struct {
+	Cycles              int64
+	Committed           []uint64
+	Fetched             []uint64
+	Loads               []uint64 // issued demand loads per thread
+	LoadL1Miss          []uint64
+	LoadL2Miss          []uint64
+	LoadLatencySum      []uint64 // issue-to-data cycles summed per thread
+	SquashedUops        uint64
+	WrongPathDispatched uint64
+	EarlyRegReleases    uint64
+	FlushSquashes       uint64
+	ApproxDoDSamples    uint64
+	ApproxExactDiffSum  uint64 // sum |approx-exact| over sampled misses
+}
+
+// Result is everything a run reports.
+type Result struct {
+	Stats
+	IPC          []float64
+	DoDHist      *metrics.Histogram // service-time dependents (Figs 1/3/7)
+	ROBStats     rob.Stats
+	IQStats      iq.Stats
+	LSQStats     lsq.Stats
+	L1D, L1I, L2 cache.Stats
+	HierStats    cache.HierStats
+	Branch       predictor.GShareStats
+	LoadHit      predictor.LoadHitStats
+	DoDPred      *rob.DoDPredStats // nil unless the predictive scheme ran
+}
+
+// CPU is one simulated SMT machine instance. Not safe for concurrent use;
+// run one CPU per goroutine.
+type CPU struct {
+	cfg Config
+
+	threads []thread
+	rob     *rob.TwoLevel
+	iq      *iq.IQ
+	lsq     *lsq.LSQ
+	rf      *regfile.File
+	early   *regfile.EarlyReleaser
+	fus     *fu.Pools
+	hier    *cache.Hierarchy
+	gshare  *predictor.GShare
+	btb     *predictor.BTB
+	loadHit *predictor.LoadHit
+	mlp     *predictor.MLP
+	pol     policy.Policy
+
+	// CommitHook, when set before Run, observes every committed
+	// instruction in program order per thread — the integration point for
+	// trace validation and custom instrumentation.
+	CommitHook func(tid int, u *uop.UOp)
+
+	events     eventHeap
+	now        int64
+	seqNext    uint64
+	dispatchRR int
+	commitRR   int
+
+	snaps    []policy.Snapshot
+	order    []int
+	readyBuf []int
+
+	dodHist *metrics.Histogram
+	stats   Stats
+}
+
+// New builds a CPU; sources must supply cfg.Threads trace streams.
+func New(cfg Config, sources []TraceSource) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.Threads {
+		return nil, fmt.Errorf("pipeline: %d trace sources for %d threads", len(sources), cfg.Threads)
+	}
+	c := &CPU{cfg: cfg}
+	var err error
+	if c.rob, err = rob.New(cfg.ROB); err != nil {
+		return nil, err
+	}
+	if c.iq, err = iq.New(cfg.IQSize, cfg.Threads); err != nil {
+		return nil, err
+	}
+	if c.lsq, err = lsq.New(cfg.Threads, cfg.LSQSize); err != nil {
+		return nil, err
+	}
+	if c.rf, err = regfile.New(cfg.IntRegs, cfg.FPRegs, cfg.Threads); err != nil {
+		return nil, err
+	}
+	if cfg.EarlyRegRelease {
+		c.early = regfile.NewEarlyReleaser(c.rf, cfg.Threads)
+	}
+	c.fus = fu.New()
+	if c.hier, err = cache.NewHierarchy(cfg.Hier); err != nil {
+		return nil, err
+	}
+	if c.gshare, err = predictor.NewGShare(cfg.GShareEntries, cfg.GShareHistBits, cfg.Threads); err != nil {
+		return nil, err
+	}
+	if c.btb, err = predictor.NewBTB(cfg.BTBEntries, cfg.BTBAssoc); err != nil {
+		return nil, err
+	}
+	if c.loadHit, err = predictor.NewLoadHit(cfg.LoadHitEntries, cfg.Threads); err != nil {
+		return nil, err
+	}
+	if cfg.PolicyKind == policy.MLP {
+		if c.mlp, err = predictor.NewMLP(4096); err != nil {
+			return nil, err
+		}
+	}
+	lim := policy.Limits{
+		IQ:      cfg.IQSize,
+		IntRegs: cfg.IntRegs,
+		FPRegs:  cfg.FPRegs,
+	}
+	if c.pol, err = policy.New(cfg.PolicyKind, cfg.DCRAAlpha, lim); err != nil {
+		return nil, err
+	}
+	c.threads = make([]thread, cfg.Threads)
+	var regions []isa.Region
+	for i := range c.threads {
+		c.threads[i].src = sources[i]
+		if cfg.Prewarm {
+			if rp, ok := sources[i].(RegionProvider); ok {
+				regions = append(regions, rp.Regions()...)
+			}
+		}
+	}
+	// Prewarm largest regions first: working sets that exceed the L2 miss
+	// regardless of residency, while the cache-resident sets of the other
+	// threads must end up warm — a later multi-megabyte insert would evict
+	// them and strand those threads in a cold-start regime the paper's
+	// 100M-instruction SimPoints never see.
+	sort.Slice(regions, func(a, b int) bool { return regions[a].Size > regions[b].Size })
+	for _, r := range regions {
+		c.hier.Prewarm(r.Base, r.Size, r.Code)
+	}
+	c.snaps = make([]policy.Snapshot, cfg.Threads)
+	c.order = make([]int, 0, cfg.Threads)
+	c.readyBuf = make([]int, 0, cfg.IQSize)
+	c.dodHist = metrics.NewHistogram(cfg.ROB.L1Size + cfg.ROB.L2Size + 1)
+	c.stats.Committed = make([]uint64, cfg.Threads)
+	c.stats.Fetched = make([]uint64, cfg.Threads)
+	c.stats.Loads = make([]uint64, cfg.Threads)
+	c.stats.LoadL1Miss = make([]uint64, cfg.Threads)
+	c.stats.LoadL2Miss = make([]uint64, cfg.Threads)
+	c.stats.LoadLatencySum = make([]uint64, cfg.Threads)
+	return c, nil
+}
+
+// Run simulates until any thread commits budget instructions (the paper's
+// stop rule) and returns the collected results.
+func (c *CPU) Run(budget uint64) (Result, error) {
+	if budget == 0 {
+		return Result{}, fmt.Errorf("pipeline: zero instruction budget")
+	}
+	maxCycles := c.cfg.MaxCycles
+	if maxCycles == 0 {
+		// Worst realistic case is one commit per memory round-trip.
+		maxCycles = int64(budget) * 2000
+		if maxCycles < 1_000_000 {
+			maxCycles = 1_000_000
+		}
+	}
+	for {
+		c.writeback()
+		if done := c.commit(budget); done {
+			break
+		}
+		c.rob.Tick(c.now)
+		c.iq.Tick()
+		c.buildSnapshots()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+		c.now++
+		if c.now >= maxCycles {
+			return Result{}, fmt.Errorf("pipeline: no thread reached %d commits within %d cycles (deadlock or budget too large)", budget, maxCycles)
+		}
+	}
+	return c.result(), nil
+}
+
+// Cycle returns the current cycle (for tests driving stages manually).
+func (c *CPU) Cycle() int64 { return c.now }
+
+func (c *CPU) result() Result {
+	res := Result{
+		Stats:     c.stats,
+		IPC:       make([]float64, c.cfg.Threads),
+		DoDHist:   c.dodHist,
+		ROBStats:  c.rob.Stats(),
+		IQStats:   c.iq.Stats(),
+		LSQStats:  c.lsq.Stats(),
+		L1D:       c.hier.L1D.Stats(),
+		L1I:       c.hier.L1I.Stats(),
+		L2:        c.hier.L2.Stats(),
+		HierStats: c.hier.Stats(),
+		Branch:    c.gshare.Stats(),
+		LoadHit:   c.loadHit.Stats(),
+	}
+	res.Cycles = c.now
+	if c.early != nil {
+		res.EarlyRegReleases = c.early.Released()
+	}
+	if p := c.rob.Predictor(); p != nil {
+		s := p.Stats()
+		res.DoDPred = &s
+	}
+	for t := range c.threads {
+		if c.now > 0 {
+			res.IPC[t] = float64(c.stats.Committed[t]) / float64(c.now)
+		}
+	}
+	return res
+}
+
+// buildSnapshots refreshes the per-thread state the policy decides from.
+func (c *CPU) buildSnapshots() {
+	for t := range c.threads {
+		th := &c.threads[t]
+		c.snaps[t] = policy.Snapshot{
+			FrontEnd:      th.fq.len(),
+			IQ:            c.iq.CountOf(t),
+			IntRegs:       th.intRegs,
+			FPRegs:        th.fpRegs,
+			PendingDMiss:  th.pendingDMiss > 0,
+			PendingL2Miss: th.pendingL2Miss > 0,
+			PredictedMLP:  th.predictedMLP,
+			OwnsROB:       c.rob.Owner() == t,
+			Finished:      th.finished,
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package pipeline
+
+// evKind distinguishes scheduled pipeline events.
+type evKind uint8
+
+const (
+	evComplete   evKind = iota // instruction finishes executing
+	evMissDetect               // L2 miss discovered for an issued load
+)
+
+// event is a scheduled future action on an in-flight uop, validated at
+// fire time by (slot, seq) so events for squashed entries are dropped.
+type event struct {
+	at   int64
+	seq  uint64
+	slot int32
+	tid  int8
+	kind evKind
+}
+
+// eventHeap is a binary min-heap on the fire cycle. Hand-rolled to avoid
+// interface boxing in the per-cycle hot path.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].at <= h.items[i].at {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// peekAt returns the earliest fire cycle; callers must check len first.
+func (h *eventHeap) peekAt() int64 { return h.items[0].at }
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].at < h.items[smallest].at {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].at < h.items[smallest].at {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

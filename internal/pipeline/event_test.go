@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	for _, at := range []int64{50, 10, 30, 20, 40} {
+		h.push(event{at: at, seq: uint64(at)})
+	}
+	prev := int64(-1)
+	for h.len() > 0 {
+		e := h.pop()
+		if e.at < prev {
+			t.Fatalf("heap order violated: %d after %d", e.at, prev)
+		}
+		prev = e.at
+	}
+}
+
+func TestEventHeapPeek(t *testing.T) {
+	var h eventHeap
+	h.push(event{at: 7})
+	h.push(event{at: 3})
+	if h.peekAt() != 3 {
+		t.Fatalf("peek = %d", h.peekAt())
+	}
+	if h.pop().at != 3 || h.peekAt() != 7 {
+		t.Fatal("pop/peek inconsistent")
+	}
+}
+
+func TestEventHeapRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h eventHeap
+	var want []int64
+	for i := 0; i < 2000; i++ {
+		at := int64(rng.Intn(10000))
+		h.push(event{at: at})
+		want = append(want, at)
+		// Occasionally drain a few to interleave push and pop.
+		if i%7 == 0 && h.len() > 3 {
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			for k := 0; k < 3; k++ {
+				if got := h.pop().at; got != want[0] {
+					t.Fatalf("pop %d want %d", got, want[0])
+				}
+				want = want[1:]
+			}
+		}
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	for _, w := range want {
+		if got := h.pop().at; got != w {
+			t.Fatalf("drain: pop %d want %d", got, w)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatal("heap not empty")
+	}
+}
+
+func TestFeQueue(t *testing.T) {
+	var q feQueue
+	if q.len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.push(feEntry{readyAt: 1})
+	q.push(feEntry{readyAt: 2})
+	if q.len() != 2 || q.peek().readyAt != 1 {
+		t.Fatal("peek/len wrong")
+	}
+	if q.pop().readyAt != 1 || q.pop().readyAt != 2 {
+		t.Fatal("FIFO order broken")
+	}
+	if q.len() != 0 {
+		t.Fatal("not empty after pops")
+	}
+	// Push after full drain reuses storage from the start.
+	q.push(feEntry{readyAt: 3})
+	if q.peek().readyAt != 3 {
+		t.Fatal("reuse after drain broken")
+	}
+	q.clear()
+	if q.len() != 0 {
+		t.Fatal("clear failed")
+	}
+}

@@ -1,0 +1,195 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGShareLearnsBias(t *testing.T) {
+	g, err := NewGShare(2048, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint64(0x1000)
+	// Train a strongly-taken branch.
+	for i := 0; i < 50; i++ {
+		h := g.Hist(0)
+		pred := g.Predict(pc, h)
+		g.PushHist(0, true)
+		g.Update(pc, h, true, pred)
+	}
+	if !g.Predict(pc, g.Hist(0)) {
+		t.Fatal("did not learn taken bias")
+	}
+}
+
+func TestGShareHistoryDistinguishesPaths(t *testing.T) {
+	g, _ := NewGShare(2048, 10, 1)
+	pc := uint64(0x2000)
+	// Outcome correlates with history: taken iff last bit of history set.
+	for i := 0; i < 400; i++ {
+		h := g.Hist(0)
+		taken := h&1 == 1
+		pred := g.Predict(pc, h)
+		g.PushHist(0, taken) // assume perfect speculation for training
+		g.Update(pc, h, taken, pred)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		h := g.Hist(0)
+		taken := h&1 == 1
+		if g.Predict(pc, h) == taken {
+			correct++
+		}
+		g.PushHist(0, taken)
+		g.Update(pc, h, taken, g.Predict(pc, h))
+	}
+	if correct < 90 {
+		t.Fatalf("history-correlated branch predicted %d/100", correct)
+	}
+}
+
+func TestGShareSetHistMasks(t *testing.T) {
+	g, _ := NewGShare(1024, 10, 2)
+	g.SetHist(1, ^uint64(0))
+	if h := g.Hist(1); h >= 1<<10 {
+		t.Fatalf("history not masked: %#x", h)
+	}
+	if g.Hist(0) != 0 {
+		t.Fatal("thread histories not independent")
+	}
+}
+
+func TestGShareMispredStats(t *testing.T) {
+	g, _ := NewGShare(1024, 10, 1)
+	h := g.Hist(0)
+	pred := g.Predict(0x30, h)
+	g.Update(0x30, h, !pred, pred)
+	if s := g.Stats(); s.Mispreds != 1 || s.Lookups != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestGShareValidation(t *testing.T) {
+	if _, err := NewGShare(1000, 10, 1); err == nil {
+		t.Error("non-power-of-two table accepted")
+	}
+	if _, err := NewGShare(1024, 10, 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestBTBRoundTrip(t *testing.T) {
+	b, err := NewBTB(2048, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup(0x4000); ok {
+		t.Fatal("cold BTB hit")
+	}
+	b.Update(0x4000, 0x8888)
+	tgt, ok := b.Lookup(0x4000)
+	if !ok || tgt != 0x8888 {
+		t.Fatalf("lookup = %#x, %v", tgt, ok)
+	}
+	b.Update(0x4000, 0x9999) // refresh target
+	if tgt, _ := b.Lookup(0x4000); tgt != 0x9999 {
+		t.Fatalf("target not refreshed: %#x", tgt)
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	b, _ := NewBTB(4, 2)       // 2 sets; pcs with same set bits collide
+	setStride := uint64(2 * 4) // set index from pc>>2, 2 sets
+	b.Update(0x100, 1)
+	b.Update(0x100+setStride, 2)
+	b.Lookup(0x100) // make first entry MRU
+	b.Update(0x100+2*setStride, 3)
+	if _, ok := b.Lookup(0x100); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, ok := b.Lookup(0x100 + setStride); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestBTBValidation(t *testing.T) {
+	if _, err := NewBTB(10, 3); err == nil {
+		t.Error("indivisible geometry accepted")
+	}
+	if _, err := NewBTB(12, 2); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}
+
+func TestLoadHitLearns(t *testing.T) {
+	l, err := NewLoadHit(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint64(0x5000)
+	if !l.Predict(0, pc) {
+		t.Fatal("initial prediction should be hit")
+	}
+	// A consistently missing load must learn to predict miss. Histories
+	// shift, so train across the pattern space.
+	for i := 0; i < 2000; i++ {
+		p := l.Predict(0, pc)
+		l.Update(0, pc, false, p)
+	}
+	if l.Predict(0, pc) {
+		t.Fatal("did not learn missing load")
+	}
+	if s := l.Stats(); s.Mispreds == 0 || s.Lookups < 2000 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestLoadHitValidation(t *testing.T) {
+	if _, err := NewLoadHit(1000, 1); err == nil {
+		t.Error("non-power-of-two table accepted")
+	}
+}
+
+// Property: BTB lookup after update for the same pc returns that target
+// (possibly evicted only by a conflicting update in between — here none).
+func TestQuickBTB(t *testing.T) {
+	b, _ := NewBTB(2048, 2)
+	f := func(pc, tgt uint64) bool {
+		b.Update(pc, tgt)
+		got, ok := b.Lookup(pc)
+		return ok && got == tgt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLPPredictor(t *testing.T) {
+	m, err := NewMLP(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untrained loads predict optimistically.
+	if m.Predict(0x40) <= 1 {
+		t.Fatal("cold MLP prediction is pessimistic")
+	}
+	if m.Stats().Untrained != 1 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+	m.Train(0x40, 0)
+	if m.Predict(0x40) != 0 {
+		t.Fatal("trained isolated miss not remembered")
+	}
+	m.Train(0x40, 7)
+	if m.Predict(0x40) != 7 {
+		t.Fatal("last value not stored")
+	}
+	m.Train(0x40, 1<<20)
+	if m.Predict(0x40) != 0x7fff {
+		t.Fatal("saturation broken")
+	}
+	if _, err := NewMLP(100); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package regfile
+
+import "fmt"
+
+// EarlyReleaser implements a conservative form of the early register
+// deallocation the paper cites as a synergy ([24], Sharkey & Ponomarev,
+// ICS'07): the previous mapping of a renamed destination is returned to
+// the free pool *before* the renaming instruction commits, once the
+// register is provably dead:
+//
+//  1. every dispatched reader of the register has issued (and so has read
+//     the register file),
+//  2. the overwriting instruction has executed, and
+//  3. the overwriting instruction can no longer be squashed — approximated
+//     conservatively by "its thread has no unresolved branch in flight",
+//     tracked as a per-thread unresolved-branch counter.
+//
+// Rule 3 is what makes checkpoint-free recovery safe: a squash of the
+// overwriter would have to restore the previous mapping, which must still
+// exist. The FLUSH fetch policy squashes younger instructions on L2
+// misses outside branch resolution, so the pipeline disables early
+// release under FLUSH.
+//
+// A physical register can be the previous mapping of at most one in-flight
+// overwriter (it leaves the rename map when overwritten and cannot be
+// re-allocated until freed), so candidates are indexed by register.
+type EarlyReleaser struct {
+	file *File
+
+	readers    []int32 // unissued dispatched readers per physical register
+	cand       []candidate
+	perThread  [][]int32 // active candidate registers per thread
+	unresolved []int32   // unresolved branches per thread
+
+	released uint64
+}
+
+// candidate tracks one previous mapping awaiting early death.
+type candidate struct {
+	seq    uint64 // the overwriter
+	tid    int8
+	active bool
+	done   bool // overwriter executed
+}
+
+// NewEarlyReleaser builds the tracker for a register file and thread count.
+func NewEarlyReleaser(f *File, threads int) *EarlyReleaser {
+	n := f.numInt + f.numFP
+	return &EarlyReleaser{
+		file:       f,
+		readers:    make([]int32, n),
+		cand:       make([]candidate, n),
+		perThread:  make([][]int32, threads),
+		unresolved: make([]int32, threads),
+	}
+}
+
+// Released returns how many registers were freed early.
+func (e *EarlyReleaser) Released() uint64 { return e.released }
+
+// OnDispatchRead notes a dispatched reader of a physical register.
+func (e *EarlyReleaser) OnDispatchRead(phys int32) {
+	if phys >= 0 {
+		e.readers[phys]++
+	}
+}
+
+// OnIssueRead notes that a reader issued (it has read the register).
+func (e *EarlyReleaser) OnIssueRead(phys int32) {
+	if phys >= 0 {
+		e.readers[phys]--
+		e.tryRelease(phys)
+	}
+}
+
+// OnSquashRead undoes OnDispatchRead for a squashed, never-issued reader.
+func (e *EarlyReleaser) OnSquashRead(phys int32) {
+	if phys >= 0 {
+		e.readers[phys]--
+		e.tryRelease(phys)
+	}
+}
+
+// OnBranchDispatched and OnBranchResolved maintain the per-thread
+// unresolved-branch count that gates releases (rule 3). Resolution can
+// unblock every candidate of the thread.
+func (e *EarlyReleaser) OnBranchDispatched(tid int) { e.unresolved[tid]++ }
+
+func (e *EarlyReleaser) OnBranchResolved(tid int) {
+	e.unresolved[tid]--
+	if e.unresolved[tid] > 0 {
+		return
+	}
+	// Sweep the thread's candidate list, compacting lazily.
+	list := e.perThread[tid]
+	out := list[:0]
+	for _, phys := range list {
+		if !e.cand[phys].active {
+			continue
+		}
+		if !e.tryRelease(phys) {
+			out = append(out, phys)
+		}
+	}
+	e.perThread[tid] = out
+}
+
+// OnOverwriterDispatched registers a candidate: the instruction seq of
+// thread tid renamed over oldPhys.
+func (e *EarlyReleaser) OnOverwriterDispatched(tid int, seq uint64, oldPhys int32) {
+	if oldPhys < 0 {
+		return
+	}
+	e.cand[oldPhys] = candidate{seq: seq, tid: int8(tid), active: true}
+	e.perThread[tid] = append(e.perThread[tid], oldPhys)
+}
+
+// OnOverwriterExecuted marks rule 2 satisfied for the candidate holding
+// oldPhys, if it is still this overwriter's.
+func (e *EarlyReleaser) OnOverwriterExecuted(seq uint64, oldPhys int32) {
+	if oldPhys < 0 {
+		return
+	}
+	c := &e.cand[oldPhys]
+	if c.active && c.seq == seq {
+		c.done = true
+		e.tryRelease(oldPhys)
+	}
+}
+
+// OnOverwriterGone removes the candidate when its overwriter is squashed
+// or committed. It reports whether the register was already freed early —
+// the caller must then NOT free it again.
+func (e *EarlyReleaser) OnOverwriterGone(seq uint64, oldPhys int32) (alreadyReleased bool) {
+	if oldPhys < 0 {
+		return false
+	}
+	c := &e.cand[oldPhys]
+	if c.active && c.seq == seq {
+		c.active = false
+		return false
+	}
+	return true
+}
+
+// tryRelease frees the candidate holding phys if all rules hold.
+func (e *EarlyReleaser) tryRelease(phys int32) bool {
+	c := &e.cand[phys]
+	if !c.active || !c.done || e.readers[phys] != 0 || e.unresolved[c.tid] != 0 {
+		return false
+	}
+	c.active = false
+	e.file.Release(phys)
+	e.released++
+	return true
+}
+
+// PendingCount reports candidates still waiting (tests).
+func (e *EarlyReleaser) PendingCount() int {
+	n := 0
+	for i := range e.cand {
+		if e.cand[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates that reader counts are non-negative (tests).
+func (e *EarlyReleaser) CheckInvariants() error {
+	for p, r := range e.readers {
+		if r < 0 {
+			return fmt.Errorf("regfile: negative reader count on physical register %d: %d", p, r)
+		}
+	}
+	return nil
+}

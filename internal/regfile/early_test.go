@@ -1,0 +1,150 @@
+package regfile
+
+import "testing"
+
+func earlySetup(t *testing.T) (*File, *EarlyReleaser) {
+	t.Helper()
+	f, err := New(16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, NewEarlyReleaser(f, 1)
+}
+
+func TestEarlyReleaseHappyPath(t *testing.T) {
+	f, e := earlySetup(t)
+	// P is the current mapping of arch 3; a reader dispatches, then an
+	// overwriter renames arch 3.
+	p := f.Lookup(0, 3)
+	e.OnDispatchRead(p)
+	_, oldP, _ := f.Allocate(0, 3)
+	if oldP != p {
+		t.Fatal("setup wrong")
+	}
+	e.OnOverwriterDispatched(0, 100, p)
+	free := f.FreeCount(false)
+
+	e.OnOverwriterExecuted(100, p) // rule 2
+	if f.FreeCount(false) != free {
+		t.Fatal("released with an unissued reader")
+	}
+	e.OnIssueRead(p) // rule 1
+	if f.FreeCount(false) != free+1 {
+		t.Fatal("not released once all rules held")
+	}
+	if e.Released() != 1 {
+		t.Fatalf("released count %d", e.Released())
+	}
+	// Commit of the overwriter must not double-free.
+	if !e.OnOverwriterGone(100, p) {
+		t.Fatal("commit not told about the early release")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyReleaseGatedByBranches(t *testing.T) {
+	f, e := earlySetup(t)
+	p := f.Lookup(0, 3)
+	f.Allocate(0, 3)
+	e.OnBranchDispatched(0) // unresolved branch in flight
+	e.OnOverwriterDispatched(0, 100, p)
+	free := f.FreeCount(false)
+	e.OnOverwriterExecuted(100, p)
+	if f.FreeCount(false) != free {
+		t.Fatal("released under an unresolved branch")
+	}
+	e.OnBranchResolved(0)
+	if f.FreeCount(false) != free+1 {
+		t.Fatal("not released after branch resolution")
+	}
+}
+
+func TestEarlyReleaseSquashedOverwriter(t *testing.T) {
+	f, e := earlySetup(t)
+	p := f.Lookup(0, 3)
+	newP, _, _ := f.Allocate(0, 3)
+	e.OnBranchDispatched(0) // keeps the candidate gated
+	e.OnOverwriterDispatched(0, 100, p)
+	e.OnOverwriterExecuted(100, p)
+	// Squash of the overwriter: the candidate must be withdrawn so the
+	// rollback can restore p safely.
+	if e.OnOverwriterGone(100, p) {
+		t.Fatal("gated candidate reported as released")
+	}
+	f.Rollback(0, 3, newP, p)
+	if f.Lookup(0, 3) != p {
+		t.Fatal("rollback broken")
+	}
+	// The stale resolution must not release anything now.
+	e.OnBranchResolved(0)
+	if e.Released() != 0 {
+		t.Fatal("withdrawn candidate released")
+	}
+}
+
+func TestEarlySquashedReader(t *testing.T) {
+	f, e := earlySetup(t)
+	p := f.Lookup(0, 3)
+	e.OnDispatchRead(p)
+	f.Allocate(0, 3)
+	e.OnOverwriterDispatched(0, 100, p)
+	e.OnOverwriterExecuted(100, p)
+	// The reader never issues; it is squashed instead.
+	e.OnSquashRead(p)
+	if e.Released() != 1 {
+		t.Fatal("squash of the last reader did not trigger release")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyRegisterReuseAfterRelease(t *testing.T) {
+	f, e := earlySetup(t)
+	p := f.Lookup(0, 3)
+	f.Allocate(0, 3)
+	e.OnOverwriterDispatched(0, 100, p)
+	e.OnOverwriterExecuted(100, p)
+	if e.Released() != 1 {
+		t.Fatal("no readers, executed, no branches: must release")
+	}
+	// The freed register is re-allocated to a different arch register and
+	// becomes the previous mapping of a NEW overwriter: the candidate slot
+	// must be reusable.
+	var got int32 = -1
+	for i := 0; i < 16; i++ {
+		newP, _, ok := f.Allocate(0, 5)
+		if !ok {
+			break
+		}
+		if newP == p {
+			got = newP
+			break
+		}
+	}
+	if got != p {
+		t.Skip("free-list order did not hand the register back")
+	}
+	e.OnOverwriterDispatched(0, 200, f.Lookup(0, 5))
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyPendingCount(t *testing.T) {
+	f, e := earlySetup(t)
+	p := f.Lookup(0, 3)
+	f.Allocate(0, 3)
+	e.OnBranchDispatched(0)
+	e.OnOverwriterDispatched(0, 100, p)
+	if e.PendingCount() != 1 {
+		t.Fatalf("pending = %d", e.PendingCount())
+	}
+	e.OnOverwriterExecuted(100, p)
+	e.OnBranchResolved(0)
+	if e.PendingCount() != 0 {
+		t.Fatalf("pending after release = %d", e.PendingCount())
+	}
+}

@@ -1,0 +1,190 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func newFile(t *testing.T, ints, fps, threads int) *File {
+	t.Helper()
+	f, err := New(ints, fps, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestInitialState(t *testing.T) {
+	f := newFile(t, 224, 224, 4)
+	if got := f.FreeCount(false); got != 224 {
+		t.Fatalf("free int = %d, want the full rename pool", got)
+	}
+	if got := f.FreeCount(true); got != 224 {
+		t.Fatalf("free fp = %d", got)
+	}
+	// Every architected register maps to a ready physical register.
+	for tid := 0; tid < 4; tid++ {
+		for a := 0; a < isa.NumRegs; a++ {
+			p := f.Lookup(tid, a)
+			if !f.Ready(p) {
+				t.Fatalf("thread %d arch %d not ready at reset", tid, a)
+			}
+			if isa.IsFPReg(a) != f.IsFPPhys(p) {
+				t.Fatalf("class mismatch for arch %d -> phys %d", a, p)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadsDistinctMappings(t *testing.T) {
+	f := newFile(t, 32, 32, 2)
+	if f.Lookup(0, 5) == f.Lookup(1, 5) {
+		t.Fatal("two threads share a committed register")
+	}
+}
+
+func TestAllocateRenameCommit(t *testing.T) {
+	f := newFile(t, 16, 16, 1)
+	old := f.Lookup(0, 3)
+	newP, oldP, ok := f.Allocate(0, 3)
+	if !ok || oldP != old {
+		t.Fatalf("allocate: new=%d old=%d ok=%v", newP, oldP, ok)
+	}
+	if f.Lookup(0, 3) != newP {
+		t.Fatal("rename map not updated")
+	}
+	if f.Ready(newP) {
+		t.Fatal("fresh register marked ready")
+	}
+	f.SetReady(newP)
+	if !f.Ready(newP) {
+		t.Fatal("SetReady failed")
+	}
+	// Commit frees the previous mapping.
+	before := f.FreeCount(false)
+	f.Release(oldP)
+	if f.FreeCount(false) != before+1 {
+		t.Fatal("release did not return register")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	f := newFile(t, 4, 4, 1)
+	for i := 0; i < 4; i++ {
+		if _, _, ok := f.Allocate(0, 1); !ok {
+			t.Fatalf("allocation %d failed early", i)
+		}
+	}
+	if _, _, ok := f.Allocate(0, 1); ok {
+		t.Fatal("allocation beyond pool succeeded")
+	}
+	if f.FreeCount(false) != 0 {
+		t.Fatal("free count wrong at exhaustion")
+	}
+}
+
+func TestRollback(t *testing.T) {
+	f := newFile(t, 8, 8, 1)
+	old := f.Lookup(0, 2)
+	newP, oldP, _ := f.Allocate(0, 2)
+	f.Rollback(0, 2, newP, oldP)
+	if f.Lookup(0, 2) != old {
+		t.Fatal("rollback did not restore mapping")
+	}
+	if f.FreeCount(false) != 8 {
+		t.Fatal("rollback did not free register")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPPoolSeparate(t *testing.T) {
+	f := newFile(t, 4, 4, 1)
+	for i := 0; i < 4; i++ {
+		f.Allocate(0, 1) // int
+	}
+	// Int pool exhausted; FP must still allocate.
+	if _, _, ok := f.Allocate(0, isa.NumIntRegs+1); !ok {
+		t.Fatal("fp allocation blocked by int exhaustion")
+	}
+	if f.FreeCount(true) != 3 {
+		t.Fatalf("fp free = %d", f.FreeCount(true))
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	f := newFile(t, 8, 8, 1)
+	base := f.InFlight(false)
+	f.Allocate(0, 1)
+	if f.InFlight(false) != base+1 {
+		t.Fatal("in-flight count wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 8, 1); err == nil {
+		t.Error("zero int pool accepted")
+	}
+	if _, err := New(8, 8, 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+// Property: any sequence of allocate/commit-release/rollback preserves
+// free-list invariants and never double-frees.
+func TestQuickRenameSequences(t *testing.T) {
+	type op struct {
+		Arch   uint8
+		Commit bool // else rollback
+	}
+	f := func(ops []op) bool {
+		rf, err := New(16, 16, 2)
+		if err != nil {
+			return false
+		}
+		type pending struct {
+			tid, arch  int
+			newP, oldP int32
+		}
+		var live []pending
+		for i, o := range ops {
+			arch := int(o.Arch) % isa.NumRegs
+			tid := i % 2
+			newP, oldP, ok := rf.Allocate(tid, arch)
+			if !ok {
+				// Drain one pending entry to make room (commit oldest).
+				if len(live) == 0 {
+					continue
+				}
+				p := live[0]
+				live = live[1:]
+				rf.Release(p.oldP)
+				continue
+			}
+			live = append(live, pending{tid, arch, newP, oldP})
+			if o.Commit && len(live) > 4 {
+				p := live[0]
+				live = live[1:]
+				rf.Release(p.oldP)
+			} else if !o.Commit && len(live) > 0 {
+				// Roll back the youngest (squash semantics).
+				p := live[len(live)-1]
+				live = live[:len(live)-1]
+				rf.Rollback(p.tid, p.arch, p.newP, p.oldP)
+			}
+		}
+		return rf.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

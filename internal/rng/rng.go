@@ -1,0 +1,112 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators and discrete distributions used by the synthetic workload
+// generators. Determinism matters: the same (benchmark, seed) pair must
+// produce bit-identical instruction traces across simulator configurations
+// so that scheme comparisons replay the exact same program.
+package rng
+
+// SplitMix64 is a tiny, high-quality 64-bit PRNG (Steele et al., 2014).
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a SplitMix64 seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Seed resets the generator state.
+func (r *SplitMix64) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *SplitMix64) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *SplitMix64) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a geometrically distributed integer >= 1 with success
+// probability p (mean 1/p). p must be in (0, 1].
+func (r *SplitMix64) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("rng: Geometric with non-positive p")
+	}
+	n := 1
+	for !r.Bool(p) {
+		n++
+		if n >= 1<<20 { // safety bound; unreachable for sane p
+			break
+		}
+	}
+	return n
+}
+
+// Discrete samples an index from a fixed discrete distribution.
+// Construct with NewDiscrete; sampling is O(log n) via binary search
+// on the cumulative table.
+type Discrete struct {
+	cum []float64
+}
+
+// NewDiscrete builds a sampler over the given non-negative weights.
+// Weights need not sum to 1. It panics if the total weight is zero.
+func NewDiscrete(weights []float64) *Discrete {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("rng: zero total weight")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Discrete{cum: cum}
+}
+
+// Sample draws an index according to the weights.
+func (d *Discrete) Sample(r *SplitMix64) int {
+	u := r.Float64()
+	lo, hi := 0, len(d.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of outcomes.
+func (d *Discrete) N() int { return len(d.cum) }

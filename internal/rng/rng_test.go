@@ -1,0 +1,225 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if got := r.Uint64(); got != first {
+		t.Fatalf("reseed did not reset the stream: %d != %d", got, first)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("Bool(%v) rate %v", p, got)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	for _, p := range []float64{0.2, 0.5, 0.9} {
+		sum := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += r.Geometric(p)
+		}
+		got := float64(sum) / n
+		want := 1 / p
+		if math.Abs(got-want) > 0.1*want {
+			t.Fatalf("Geometric(%v) mean %v, want about %v", p, got, want)
+		}
+	}
+}
+
+func TestGeometricAtOne(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(1); v != 1 {
+			t.Fatalf("Geometric(1) = %d", v)
+		}
+	}
+}
+
+func TestGeometricPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestDiscreteProportions(t *testing.T) {
+	r := New(23)
+	d := NewDiscrete([]float64{1, 2, 7})
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("outcome %d rate %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDiscreteZeroWeightNeverSampled(t *testing.T) {
+	r := New(29)
+	d := NewDiscrete([]float64{0, 1, 0})
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(r); v != 1 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	for _, weights := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDiscrete(%v) did not panic", weights)
+				}
+			}()
+			NewDiscrete(weights)
+		}()
+	}
+}
+
+func TestDiscreteN(t *testing.T) {
+	if n := NewDiscrete([]float64{1, 1, 1, 1}).N(); n != 4 {
+		t.Fatalf("N = %d", n)
+	}
+}
+
+// Property: Intn is always within range for arbitrary seeds and sizes.
+func TestQuickIntn(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		size := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if v := r.Intn(size); v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Discrete.Sample always returns a valid index.
+func TestQuickDiscrete(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, w := range raw {
+			weights[i] = float64(w)
+			total += float64(w)
+		}
+		if total == 0 {
+			return true
+		}
+		d := NewDiscrete(weights)
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			idx := d.Sample(r)
+			if idx < 0 || idx >= len(weights) || weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package rob
+
+import "repro/internal/uop"
+
+// ApproxDoD is the paper's low-complexity dependence counter (§4.1): it
+// walks the ROB entries younger than the load at loadSlot and counts those
+// whose "result valid" bit is still clear — i.e. every not-yet-executed
+// instruction is *assumed* to depend on the load. No register tags are
+// propagated. The accuracy of the approximation improves with the delay
+// between miss detection and counting, because independent short-latency
+// work drains in the interim.
+func ApproxDoD(r *Ring, loadSlot int32) int {
+	pos := r.PosOf(loadSlot)
+	if pos < 0 {
+		return 0
+	}
+	n := 0
+	for i := pos + 1; i < r.Len(); i++ {
+		e := r.At(r.SlotAt(i))
+		if !e.Executed && !e.Squashed {
+			n++
+		}
+	}
+	return n
+}
+
+// ExactDoD computes the true register-dataflow degree of dependence: the
+// number of ROB entries younger than the load whose sources transitively
+// reach the load's destination register. The paper argues this would
+// require expensive tag broadcasts in hardware; the simulator provides it
+// to quantify the approximation error (§4.1's accuracy discussion).
+func ExactDoD(r *Ring, loadSlot int32) int {
+	pos := r.PosOf(loadSlot)
+	if pos < 0 {
+		return 0
+	}
+	load := r.At(loadSlot)
+	if load.DestPhys == uop.NoReg {
+		return 0
+	}
+	// Dependence set of physical registers, seeded with the load's dest.
+	// Sizes are tiny (≤ ROB length), so a slice scan beats a map.
+	depRegs := make([]int32, 0, 16)
+	depRegs = append(depRegs, load.DestPhys)
+	inSet := func(p int32) bool {
+		for _, q := range depRegs {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	n := 0
+	for i := pos + 1; i < r.Len(); i++ {
+		e := r.At(r.SlotAt(i))
+		if e.Squashed {
+			continue
+		}
+		dep := false
+		for _, s := range e.SrcPhys {
+			if s != uop.NoReg && inSet(s) {
+				dep = true
+				break
+			}
+		}
+		if dep {
+			n++
+			if e.DestPhys != uop.NoReg && !inSet(e.DestPhys) {
+				depRegs = append(depRegs, e.DestPhys)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package rob
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/uop"
+)
+
+// buildWindow pushes a load followed by entries; executed selects which of
+// the younger entries have completed. Returns the ring and the load slot.
+func buildWindow(younger int, executed func(i int) bool) (*Ring, int32) {
+	r := NewRing(64)
+	slot, ld := r.Push()
+	ld.Op = isa.OpLoad
+	ld.DestPhys = 100
+	ld.Seq = 1
+	for i := 0; i < younger; i++ {
+		_, e := r.Push()
+		e.Op = isa.OpIntAlu
+		e.Seq = uint64(i + 2)
+		e.DestPhys = int32(200 + i)
+		e.SrcPhys = [2]int32{uop.NoReg, uop.NoReg}
+		e.Executed = executed(i)
+	}
+	return r, slot
+}
+
+func TestApproxDoDCountsUnexecuted(t *testing.T) {
+	r, slot := buildWindow(10, func(i int) bool { return i%2 == 0 })
+	if got := ApproxDoD(r, slot); got != 5 {
+		t.Fatalf("ApproxDoD = %d, want 5", got)
+	}
+}
+
+func TestApproxDoDEmptyShadow(t *testing.T) {
+	r, slot := buildWindow(0, nil)
+	if got := ApproxDoD(r, slot); got != 0 {
+		t.Fatalf("ApproxDoD = %d", got)
+	}
+}
+
+func TestApproxDoDDeadSlot(t *testing.T) {
+	r, slot := buildWindow(3, func(int) bool { return false })
+	r.PopHead() // the load commits/leaves
+	if got := ApproxDoD(r, slot); got != 0 {
+		t.Fatalf("ApproxDoD on dead slot = %d", got)
+	}
+}
+
+func TestApproxDoDSkipsSquashed(t *testing.T) {
+	r, slot := buildWindow(4, func(int) bool { return false })
+	r.At(r.SlotAt(2)).Squashed = true
+	if got := ApproxDoD(r, slot); got != 3 {
+		t.Fatalf("ApproxDoD = %d, want 3", got)
+	}
+}
+
+func TestExactDoDDirectAndTransitive(t *testing.T) {
+	r := NewRing(16)
+	slot, ld := r.Push()
+	ld.Op = isa.OpLoad
+	ld.DestPhys = 100
+	// consumer of the load
+	_, c1 := r.Push()
+	c1.SrcPhys = [2]int32{100, uop.NoReg}
+	c1.DestPhys = 101
+	// consumer of the consumer (transitive)
+	_, c2 := r.Push()
+	c2.SrcPhys = [2]int32{101, 7}
+	c2.DestPhys = 102
+	// independent instruction
+	_, ind := r.Push()
+	ind.SrcPhys = [2]int32{7, 8}
+	ind.DestPhys = 103
+	// second-operand dependence
+	_, c3 := r.Push()
+	c3.SrcPhys = [2]int32{9, 102}
+	c3.DestPhys = uop.NoReg
+	if got := ExactDoD(r, slot); got != 3 {
+		t.Fatalf("ExactDoD = %d, want 3", got)
+	}
+}
+
+func TestExactDoDNoDest(t *testing.T) {
+	r := NewRing(8)
+	slot, st := r.Push()
+	st.Op = isa.OpStore
+	st.DestPhys = uop.NoReg
+	_, e := r.Push()
+	e.SrcPhys = [2]int32{1, 2}
+	if got := ExactDoD(r, slot); got != 0 {
+		t.Fatalf("ExactDoD for store = %d", got)
+	}
+}
+
+func TestApproxOverestimatesExact(t *testing.T) {
+	// The paper's claim: every unexecuted younger instruction is assumed
+	// dependent, so the approximation is an overestimate once independent
+	// work has drained — and equals the truth when only dependents remain.
+	r := NewRing(16)
+	slot, ld := r.Push()
+	ld.Op = isa.OpLoad
+	ld.DestPhys = 100
+	// dependent, unexecuted
+	_, dep := r.Push()
+	dep.SrcPhys = [2]int32{100, uop.NoReg}
+	dep.DestPhys = 101
+	// independent but not yet executed (counting taken too early)
+	_, ind := r.Push()
+	ind.SrcPhys = [2]int32{7, uop.NoReg}
+	ind.DestPhys = 102
+	approx := ApproxDoD(r, slot)
+	exact := ExactDoD(r, slot)
+	if approx != 2 || exact != 1 {
+		t.Fatalf("approx=%d exact=%d", approx, exact)
+	}
+	// Later: the independent instruction has executed; counts agree.
+	ind.Executed = true
+	if got := ApproxDoD(r, slot); got != exact {
+		t.Fatalf("after drain approx=%d exact=%d", got, exact)
+	}
+}

@@ -1,0 +1,86 @@
+package rob
+
+import "fmt"
+
+// DoDPredictor is the §4.2 last-value Degree-of-Dependence predictor: a
+// PC-indexed table whose entry holds the dependent count observed at the
+// previous dynamic instance of the same static load. Optionally the index
+// is hashed with recent branch history ("gshare-style", §4.2) so different
+// control-flow paths get different predictions.
+type DoDPredictor struct {
+	values   []int16 // -1 = never trained
+	mask     uint64
+	pathHash bool
+	histBits uint
+	stats    DoDPredStats
+}
+
+// DoDPredStats counts predictor behaviour, including the verification
+// outcomes fed back by the mandatory post-miss count.
+type DoDPredStats struct {
+	Lookups   uint64
+	Untrained uint64 // lookups that found no prior value
+	Correct   uint64 // verified: predicted-below-threshold decision was right
+	Wrong     uint64
+}
+
+// NewDoDPredictor builds a predictor with the given table size (power of
+// two). If pathHash is true the index mixes in histBits of the thread's
+// recent branch history.
+func NewDoDPredictor(entries int, pathHash bool, histBits uint) (*DoDPredictor, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("rob: DoD predictor entries %d not a power of two", entries)
+	}
+	p := &DoDPredictor{
+		values:   make([]int16, entries),
+		mask:     uint64(entries - 1),
+		pathHash: pathHash,
+		histBits: histBits,
+	}
+	for i := range p.values {
+		p.values[i] = -1
+	}
+	return p, nil
+}
+
+func (p *DoDPredictor) index(pc, hist uint64) int {
+	idx := pc >> 2
+	if p.pathHash {
+		idx ^= hist & ((1 << p.histBits) - 1)
+	}
+	return int(idx & p.mask)
+}
+
+// Predict returns the predicted dependent count for the load at pc and
+// whether the table had a trained value. hist is the thread's branch
+// history (ignored unless path hashing is enabled).
+func (p *DoDPredictor) Predict(pc, hist uint64) (dod int, trained bool) {
+	p.stats.Lookups++
+	v := p.values[p.index(pc, hist)]
+	if v < 0 {
+		p.stats.Untrained++
+		return 0, false
+	}
+	return int(v), true
+}
+
+// Train stores the verified dependent count for the load at pc.
+func (p *DoDPredictor) Train(pc, hist uint64, dod int) {
+	if dod > 0x7fff {
+		dod = 0x7fff
+	}
+	p.values[p.index(pc, hist)] = int16(dod)
+}
+
+// Verify records whether a below-threshold allocation decision made from a
+// prediction agreed with the later actual count.
+func (p *DoDPredictor) Verify(correct bool) {
+	if correct {
+		p.stats.Correct++
+	} else {
+		p.stats.Wrong++
+	}
+}
+
+// Stats returns the predictor counters.
+func (p *DoDPredictor) Stats() DoDPredStats { return p.stats }

@@ -1,0 +1,81 @@
+package rob
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDoDPredictorLastValue(t *testing.T) {
+	p, err := NewDoDPredictor(256, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, trained := p.Predict(0x40, 0); trained {
+		t.Fatal("cold predictor trained")
+	}
+	p.Train(0x40, 0, 7)
+	dod, trained := p.Predict(0x40, 0)
+	if !trained || dod != 7 {
+		t.Fatalf("predict = %d, %v", dod, trained)
+	}
+	p.Train(0x40, 0, 3) // last value wins
+	if dod, _ := p.Predict(0x40, 0); dod != 3 {
+		t.Fatalf("last value not stored: %d", dod)
+	}
+}
+
+func TestDoDPredictorPathHash(t *testing.T) {
+	p, err := NewDoDPredictor(256, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pc, different paths: independent entries (gshare-style, §4.2).
+	p.Train(0x80, 0x01, 4)
+	p.Train(0x80, 0x02, 9)
+	if dod, _ := p.Predict(0x80, 0x01); dod != 4 {
+		t.Fatalf("path 1 = %d", dod)
+	}
+	if dod, _ := p.Predict(0x80, 0x02); dod != 9 {
+		t.Fatalf("path 2 = %d", dod)
+	}
+}
+
+func TestDoDPredictorSaturates(t *testing.T) {
+	p, _ := NewDoDPredictor(64, false, 0)
+	p.Train(0x10, 0, 1<<20)
+	if dod, _ := p.Predict(0x10, 0); dod != 0x7fff {
+		t.Fatalf("saturation = %d", dod)
+	}
+}
+
+func TestDoDPredictorValidation(t *testing.T) {
+	if _, err := NewDoDPredictor(100, false, 0); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestDoDPredictorVerifyStats(t *testing.T) {
+	p, _ := NewDoDPredictor(64, false, 0)
+	p.Verify(true)
+	p.Verify(false)
+	p.Verify(false)
+	s := p.Stats()
+	if s.Correct != 1 || s.Wrong != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// Property: predict-after-train round-trips any count below saturation
+// when there is no aliasing (single pc).
+func TestQuickDoDRoundTrip(t *testing.T) {
+	p, _ := NewDoDPredictor(1024, false, 0)
+	f := func(pc uint64, count uint16) bool {
+		want := int(count) & 0x7fff
+		p.Train(pc, 0, want)
+		got, trained := p.Predict(pc, 0)
+		return trained && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

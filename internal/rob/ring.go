@@ -1,0 +1,133 @@
+// Package rob implements the paper's primary contribution: the two-level
+// reorder buffer. It provides the per-thread ROB ring buffers, the
+// low-complexity Degree-of-Dependence (DoD) counter (§4.1), the last-value
+// DoD predictor (§4.2), and the four second-level allocation schemes
+// evaluated in §5 (reactive, relaxed reactive, count-delayed reactive, and
+// predictive).
+package rob
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+)
+
+// Ring is a per-thread ROB: a ring buffer of in-flight UOps in program
+// order. Slots are stable physical positions (handles remain valid until
+// the entry commits or is squashed). The physical capacity is the maximum
+// the thread can ever hold (first level + the whole second level); the
+// *effective* capacity at any moment is imposed by the TwoLevel manager.
+type Ring struct {
+	entries  []uop.UOp
+	head     int32 // slot of the oldest entry
+	count    int32
+	capacity int32
+}
+
+// NewRing allocates a ring with the given physical capacity.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("rob: non-positive ring capacity")
+	}
+	return &Ring{
+		entries:  make([]uop.UOp, capacity),
+		capacity: int32(capacity),
+	}
+}
+
+// Len returns the number of live entries.
+func (r *Ring) Len() int { return int(r.count) }
+
+// Cap returns the physical capacity.
+func (r *Ring) Cap() int { return int(r.capacity) }
+
+// Push appends a zeroed entry at the tail and returns (slot, pointer) for
+// the caller to fill. It panics on physical overflow — effective-capacity
+// checks belong to the caller.
+func (r *Ring) Push() (int32, *uop.UOp) {
+	if r.count == r.capacity {
+		panic("rob: ring overflow")
+	}
+	slot := (r.head + r.count) % r.capacity
+	r.count++
+	e := &r.entries[slot]
+	*e = uop.UOp{}
+	e.RobSlot = slot
+	return slot, e
+}
+
+// Head returns the oldest entry, or nil when empty.
+func (r *Ring) Head() *uop.UOp {
+	if r.count == 0 {
+		return nil
+	}
+	return &r.entries[r.head]
+}
+
+// PopHead removes the oldest entry (commit).
+func (r *Ring) PopHead() {
+	if r.count == 0 {
+		panic("rob: pop from empty ring")
+	}
+	r.head = (r.head + 1) % r.capacity
+	r.count--
+}
+
+// Tail returns the youngest entry, or nil when empty.
+func (r *Ring) Tail() *uop.UOp {
+	if r.count == 0 {
+		return nil
+	}
+	return &r.entries[(r.head+r.count-1)%r.capacity]
+}
+
+// PopTail removes the youngest entry (squash walk).
+func (r *Ring) PopTail() {
+	if r.count == 0 {
+		panic("rob: pop from empty ring")
+	}
+	r.count--
+}
+
+// At returns the entry in a slot. The caller must only pass live slots.
+func (r *Ring) At(slot int32) *uop.UOp { return &r.entries[slot] }
+
+// SlotAt returns the slot of the i-th entry from the head (0 = oldest).
+func (r *Ring) SlotAt(i int) int32 {
+	return (r.head + int32(i)) % r.capacity
+}
+
+// PosOf returns an entry's distance from the head (0 = oldest) or -1 if
+// the slot is not live.
+func (r *Ring) PosOf(slot int32) int {
+	if r.count == 0 {
+		return -1
+	}
+	pos := (slot - r.head + r.capacity) % r.capacity
+	if pos >= r.count {
+		return -1
+	}
+	return int(pos)
+}
+
+// IsOldest reports whether slot holds the oldest live entry.
+func (r *Ring) IsOldest(slot int32) bool {
+	return r.count > 0 && slot == r.head
+}
+
+// CheckInvariants validates ring bookkeeping (tests only).
+func (r *Ring) CheckInvariants() error {
+	if r.count < 0 || r.count > r.capacity {
+		return fmt.Errorf("rob: count %d out of range", r.count)
+	}
+	if r.head < 0 || r.head >= r.capacity {
+		return fmt.Errorf("rob: head %d out of range", r.head)
+	}
+	for i := 0; i < int(r.count); i++ {
+		slot := r.SlotAt(i)
+		if r.entries[slot].RobSlot != slot {
+			return fmt.Errorf("rob: entry %d has stale slot %d", slot, r.entries[slot].RobSlot)
+		}
+	}
+	return nil
+}

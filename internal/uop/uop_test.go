@@ -1,0 +1,36 @@
+package uop
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestIsMem(t *testing.T) {
+	ld := UOp{Op: isa.OpLoad}
+	alu := UOp{Op: isa.OpIntAlu}
+	if !ld.IsMem() || alu.IsMem() {
+		t.Fatal("IsMem misclassifies")
+	}
+}
+
+func TestBusy(t *testing.T) {
+	u := UOp{}
+	if !u.Busy() {
+		t.Fatal("fresh uop not busy")
+	}
+	u.Executed = true
+	if u.Busy() {
+		t.Fatal("executed uop busy")
+	}
+	u = UOp{Squashed: true}
+	if u.Busy() {
+		t.Fatal("squashed uop busy")
+	}
+}
+
+func TestNoRegSentinel(t *testing.T) {
+	if NoReg >= 0 {
+		t.Fatal("NoReg must be negative (never a valid physical register)")
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import "fmt"
+
+// Mix is one of the paper's Table-2 four-thread workloads.
+type Mix struct {
+	Name           string
+	Benchmarks     [4]string
+	Classification string // the paper's row label
+}
+
+// Mixes reproduces Table 2 exactly.
+var Mixes = []Mix{
+	{"Mix 1", [4]string{"ammp", "art", "mgrid", "apsi"}, "4 Low IPC"},
+	{"Mix 2", [4]string{"art", "mgrid", "apsi", "parser"}, "3 Low IPC + 1 Mid IPC"},
+	{"Mix 3", [4]string{"ammp", "mgrid", "apsi", "parser"}, "3 Low IPC + 1 Mid IPC"},
+	{"Mix 4", [4]string{"art", "mgrid", "apsi", "vortex"}, "3 Low IPC + 1 Mid IPC"},
+	{"Mix 5", [4]string{"ammp", "apsi", "parser", "crafty"}, "2 Low IPC + 2 Mid IPC"},
+	{"Mix 6", [4]string{"art", "apsi", "parser", "gap"}, "2 Low IPC + 2 Mid IPC"},
+	{"Mix 7", [4]string{"ammp", "apsi", "vortex", "eon"}, "2 Low IPC + 2 Mid IPC"},
+	{"Mix 8", [4]string{"art", "parser", "vpr", "gzip"}, "2 Low IPC + 2 Mid IPC"},
+	{"Mix 9", [4]string{"mgrid", "parser", "perlbmk", "mcf"}, "2 Low IPC + 2 Mid IPC"},
+	{"Mix 10", [4]string{"lucas", "twolf", "bzip2", "wupwise"}, "4 High IPC"},
+	{"Mix 11", [4]string{"equake", "mesa", "swim", "twolf"}, "4 High IPC"},
+}
+
+// MixByName returns the mix with the given name ("Mix 1".."Mix 11").
+func MixByName(name string) (Mix, bool) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// MixProfiles resolves a mix's benchmark names to their profiles.
+func MixProfiles(m Mix) ([4]Profile, error) {
+	var out [4]Profile
+	for i, b := range m.Benchmarks {
+		p, ok := ProfileFor(b)
+		if !ok {
+			return out, fmt.Errorf("workload: mix %q references unknown benchmark %q", m.Name, b)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// MixGenerators builds one generator per thread of the mix. Seeds are
+// derived from baseSeed and the thread slot so that two threads running
+// the same benchmark (none in Table 2, but allowed) do not collide.
+func MixGenerators(m Mix, baseSeed uint64) ([4]*Generator, error) {
+	profs, err := MixProfiles(m)
+	if err != nil {
+		return [4]*Generator{}, err
+	}
+	var out [4]*Generator
+	for i, p := range profs {
+		out[i] = MustNewGenerator(p, baseSeed*16+uint64(i)+1)
+	}
+	return out, nil
+}

@@ -1,0 +1,307 @@
+// Package workload synthesizes deterministic instruction traces that stand
+// in for the SPEC CPU2000 benchmarks used in the paper (see DESIGN.md §2).
+//
+// Each benchmark is described by a Profile: an operation mix, a dependency
+// structure (how far back source operands reach, how many consumers a load
+// feeds, whether loads chase pointers), a memory behaviour (working-set
+// size, streaming vs random access), and branch behaviour. From a profile
+// the package synthesizes a static "program" — a loop of basic blocks with
+// a fixed instruction sequence — which a Generator then executes
+// dynamically. Because the program is static, the same static load sees
+// similar degrees of dependence across dynamic instances and branches have
+// stable biases, which is precisely the property the paper's last-value
+// DoD predictor and the gShare predictor rely on.
+package workload
+
+import "fmt"
+
+// ILPClass is the paper's three-way benchmark classification: low-ILP
+// benchmarks are memory bound, high-ILP benchmarks are execution bound.
+type ILPClass uint8
+
+const (
+	LowILP ILPClass = iota
+	MidILP
+	HighILP
+)
+
+// String returns the class label used in Table 2.
+func (c ILPClass) String() string {
+	switch c {
+	case LowILP:
+		return "low"
+	case MidILP:
+		return "mid"
+	case HighILP:
+		return "high"
+	}
+	return fmt.Sprintf("ilp(%d)", uint8(c))
+}
+
+// Profile parameterizes the synthetic stand-in for one SPEC benchmark.
+type Profile struct {
+	Name  string
+	Class ILPClass
+
+	// Operation mix (fractions; need not sum to exactly 1 — the remainder
+	// is integer ALU work).
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FPFrac     float64 // fraction of compute ops that are floating point
+	LongOpFrac float64 // fraction of compute ops that are long-latency (div/sqrt/mult)
+
+	// Dependency structure.
+	LocalFrac   float64 // probability a source reads a recent producer (else a loop-invariant register)
+	DepP        float64 // geometric parameter for dependence distance (higher = tighter chains)
+	LoadFanout  float64 // probability each instruction in the fanout window directly consumes the preceding load
+	FanoutWin   int     // size of that window
+	ChaseFrac   float64 // fraction of static loads that pointer-chase (address depends on previous load)
+	IndepMemPar int     // number of independent streaming cursors (memory-level parallelism potential)
+
+	// Memory behaviour.
+	WorkingSet uint64  // bytes touched by the random-access component
+	Stride     uint64  // bytes between consecutive streaming accesses
+	StreamFrac float64 // fraction of non-chase memory ops that stream (rest are random in WorkingSet)
+	HotFrac    float64 // fraction of random accesses that hit a small hot set (temporal locality)
+	HotSet     uint64  // bytes of the frequently re-touched hot region (at the region base)
+
+	// Control flow.
+	Blocks      int     // number of basic blocks in the synthetic loop
+	BlockLen    int     // average instructions per block
+	BranchBias  float64 // probability a branch follows its biased direction
+	FwdJumpFrac float64 // fraction of branches whose taken target skips forward (rest loop backward)
+}
+
+// Validate sanity-checks a profile.
+func (p *Profile) Validate() error {
+	frac := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("workload: profile %q: %s=%g out of [0,1]", p.Name, name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		n string
+		v float64
+	}{
+		{"LoadFrac", p.LoadFrac}, {"StoreFrac", p.StoreFrac},
+		{"BranchFrac", p.BranchFrac}, {"FPFrac", p.FPFrac},
+		{"LongOpFrac", p.LongOpFrac}, {"LoadFanout", p.LoadFanout},
+		{"ChaseFrac", p.ChaseFrac}, {"StreamFrac", p.StreamFrac},
+		{"BranchBias", p.BranchBias}, {"FwdJumpFrac", p.FwdJumpFrac},
+	} {
+		if err := frac(c.n, c.v); err != nil {
+			return err
+		}
+	}
+	if p.LoadFrac+p.StoreFrac+p.BranchFrac > 0.9 {
+		return fmt.Errorf("workload: profile %q: op fractions leave no compute", p.Name)
+	}
+	if p.LocalFrac <= 0 || p.LocalFrac > 1 {
+		return fmt.Errorf("workload: profile %q: LocalFrac=%g out of (0,1]", p.Name, p.LocalFrac)
+	}
+	if p.DepP <= 0 || p.DepP > 1 {
+		return fmt.Errorf("workload: profile %q: DepP=%g out of (0,1]", p.Name, p.DepP)
+	}
+	if p.Blocks < 1 || p.BlockLen < 2 {
+		return fmt.Errorf("workload: profile %q: degenerate program shape", p.Name)
+	}
+	if p.WorkingSet == 0 {
+		return fmt.Errorf("workload: profile %q: zero working set", p.Name)
+	}
+	if err := frac("HotFrac", p.HotFrac); err != nil {
+		return err
+	}
+	if p.HotFrac > 0 && (p.HotSet == 0 || p.HotSet > p.WorkingSet) {
+		return fmt.Errorf("workload: profile %q: HotSet %d out of range", p.Name, p.HotSet)
+	}
+	if p.IndepMemPar < 1 {
+		return fmt.Errorf("workload: profile %q: IndepMemPar must be >= 1", p.Name)
+	}
+	return nil
+}
+
+const (
+	kib = 1024
+	mib = 1024 * kib
+)
+
+// profiles is the per-benchmark table. Classes are assigned so that every
+// Table-2 mix matches the paper's row label (see DESIGN.md). Within a
+// class, parameters vary to give each benchmark a distinct personality:
+//
+//   - low-ILP  (memory bound): large working sets that overflow the 2 MB L2,
+//     frequent loads, small DoD fanout; mcf/ammp/twolf-style pointer chasing
+//     where noted.
+//   - mid-ILP: working sets around the L2 size, moderate miss rates.
+//   - high-ILP (execution bound): cache-resident working sets, wide
+//     dependence distances, FP-heavy where the original is an FP code.
+var profiles = map[string]Profile{
+	// ---- low ILP / memory bound ----
+	"ammp": {
+		Name: "ammp", Class: LowILP,
+		LoadFrac: 0.30, StoreFrac: 0.08, BranchFrac: 0.08, FPFrac: 0.6, LongOpFrac: 0.06,
+		LocalFrac: 0.78, DepP: 0.45, LoadFanout: 0.48, FanoutWin: 6, ChaseFrac: 0.10, IndepMemPar: 2,
+		WorkingSet: 48 * mib, Stride: 24, StreamFrac: 0.75, HotFrac: 0.5, HotSet: 64 * kib,
+		Blocks: 24, BlockLen: 18, BranchBias: 0.92, FwdJumpFrac: 0.3,
+	},
+	"art": {
+		Name: "art", Class: LowILP,
+		LoadFrac: 0.32, StoreFrac: 0.06, BranchFrac: 0.07, FPFrac: 0.7, LongOpFrac: 0.04,
+		LocalFrac: 0.75, DepP: 0.35, LoadFanout: 0.44, FanoutWin: 5, ChaseFrac: 0.0, IndepMemPar: 6,
+		WorkingSet: 64 * mib, Stride: 16, StreamFrac: 0.8, HotFrac: 0.2, HotSet: 64 * kib,
+		Blocks: 12, BlockLen: 22, BranchBias: 0.96, FwdJumpFrac: 0.2,
+	},
+	"mgrid": {
+		Name: "mgrid", Class: LowILP,
+		LoadFrac: 0.33, StoreFrac: 0.09, BranchFrac: 0.04, FPFrac: 0.8, LongOpFrac: 0.05,
+		LocalFrac: 0.74, DepP: 0.30, LoadFanout: 0.57, FanoutWin: 5, ChaseFrac: 0.0, IndepMemPar: 4,
+		WorkingSet: 56 * mib, Stride: 16, StreamFrac: 0.9, HotFrac: 0.5, HotSet: 64 * kib,
+		Blocks: 8, BlockLen: 30, BranchBias: 0.97, FwdJumpFrac: 0.1,
+	},
+	"apsi": {
+		Name: "apsi", Class: LowILP,
+		LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.06, FPFrac: 0.7, LongOpFrac: 0.08,
+		LocalFrac: 0.77, DepP: 0.40, LoadFanout: 0.48, FanoutWin: 6, ChaseFrac: 0.05, IndepMemPar: 3,
+		WorkingSet: 40 * mib, Stride: 24, StreamFrac: 0.75, HotFrac: 0.5, HotSet: 64 * kib,
+		Blocks: 20, BlockLen: 20, BranchBias: 0.93, FwdJumpFrac: 0.25,
+	},
+	"vpr": {
+		Name: "vpr", Class: LowILP,
+		LoadFrac: 0.29, StoreFrac: 0.09, BranchFrac: 0.11, FPFrac: 0.2, LongOpFrac: 0.03,
+		LocalFrac: 0.78, DepP: 0.50, LoadFanout: 0.64, FanoutWin: 6, ChaseFrac: 0.10, IndepMemPar: 2,
+		WorkingSet: 24 * mib, Stride: 16, StreamFrac: 0.4, HotFrac: 0.6, HotSet: 64 * kib,
+		Blocks: 32, BlockLen: 12, BranchBias: 0.88, FwdJumpFrac: 0.4,
+	},
+	"mcf": {
+		Name: "mcf", Class: LowILP,
+		LoadFrac: 0.34, StoreFrac: 0.08, BranchFrac: 0.10, FPFrac: 0.0, LongOpFrac: 0.02,
+		LocalFrac: 0.80, DepP: 0.55, LoadFanout: 0.44, FanoutWin: 5, ChaseFrac: 0.35, IndepMemPar: 2,
+		WorkingSet: 96 * mib, Stride: 32, StreamFrac: 0.15, HotFrac: 0.25, HotSet: 64 * kib,
+		Blocks: 28, BlockLen: 12, BranchBias: 0.87, FwdJumpFrac: 0.35,
+	},
+
+	// ---- mid ILP ----
+	"parser": {
+		Name: "parser", Class: MidILP,
+		LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.13, FPFrac: 0.0, LongOpFrac: 0.02,
+		LocalFrac: 0.55, DepP: 0.45, LoadFanout: 0.77, FanoutWin: 6, ChaseFrac: 0.10, IndepMemPar: 2,
+		WorkingSet: 768 * kib, Stride: 16, StreamFrac: 0.3, HotFrac: 0.97, HotSet: 48 * kib,
+		Blocks: 40, BlockLen: 10, BranchBias: 0.90, FwdJumpFrac: 0.45,
+	},
+	"vortex": {
+		Name: "vortex", Class: MidILP,
+		LoadFrac: 0.27, StoreFrac: 0.14, BranchFrac: 0.12, FPFrac: 0.0, LongOpFrac: 0.01,
+		LocalFrac: 0.50, DepP: 0.40, LoadFanout: 0.64, FanoutWin: 6, ChaseFrac: 0.06, IndepMemPar: 2,
+		WorkingSet: 896 * kib, Stride: 16, StreamFrac: 0.4, HotFrac: 0.97, HotSet: 48 * kib,
+		Blocks: 36, BlockLen: 12, BranchBias: 0.94, FwdJumpFrac: 0.4,
+	},
+	"crafty": {
+		Name: "crafty", Class: MidILP,
+		LoadFrac: 0.24, StoreFrac: 0.07, BranchFrac: 0.12, FPFrac: 0.0, LongOpFrac: 0.03,
+		LocalFrac: 0.50, DepP: 0.35, LoadFanout: 0.64, FanoutWin: 5, ChaseFrac: 0.02, IndepMemPar: 3,
+		WorkingSet: 768 * kib, Stride: 16, StreamFrac: 0.3, HotFrac: 0.97, HotSet: 48 * kib,
+		Blocks: 30, BlockLen: 14, BranchBias: 0.91, FwdJumpFrac: 0.5,
+	},
+	"gap": {
+		Name: "gap", Class: MidILP,
+		LoadFrac: 0.25, StoreFrac: 0.09, BranchFrac: 0.10, FPFrac: 0.0, LongOpFrac: 0.04,
+		LocalFrac: 0.50, DepP: 0.40, LoadFanout: 0.57, FanoutWin: 5, ChaseFrac: 0.08, IndepMemPar: 2,
+		WorkingSet: 896 * kib, Stride: 16, StreamFrac: 0.35, HotFrac: 0.97, HotSet: 48 * kib,
+		Blocks: 26, BlockLen: 13, BranchBias: 0.92, FwdJumpFrac: 0.4,
+	},
+	"eon": {
+		Name: "eon", Class: MidILP,
+		LoadFrac: 0.23, StoreFrac: 0.12, BranchFrac: 0.09, FPFrac: 0.45, LongOpFrac: 0.05,
+		LocalFrac: 0.50, DepP: 0.33, LoadFanout: 0.57, FanoutWin: 5, ChaseFrac: 0.0, IndepMemPar: 3,
+		WorkingSet: 640 * kib, Stride: 8, StreamFrac: 0.4, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 22, BlockLen: 16, BranchBias: 0.93, FwdJumpFrac: 0.35,
+	},
+	"gzip": {
+		Name: "gzip", Class: MidILP,
+		LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.12, FPFrac: 0.0, LongOpFrac: 0.01,
+		LocalFrac: 0.55, DepP: 0.42, LoadFanout: 0.77, FanoutWin: 6, ChaseFrac: 0.03, IndepMemPar: 2,
+		WorkingSet: 1 * mib, Stride: 8, StreamFrac: 0.55, HotFrac: 0.97, HotSet: 48 * kib,
+		Blocks: 18, BlockLen: 12, BranchBias: 0.89, FwdJumpFrac: 0.45,
+	},
+	"perlbmk": {
+		Name: "perlbmk", Class: MidILP,
+		LoadFrac: 0.26, StoreFrac: 0.11, BranchFrac: 0.13, FPFrac: 0.0, LongOpFrac: 0.02,
+		LocalFrac: 0.55, DepP: 0.44, LoadFanout: 0.70, FanoutWin: 6, ChaseFrac: 0.08, IndepMemPar: 2,
+		WorkingSet: 640 * kib, Stride: 16, StreamFrac: 0.3, HotFrac: 0.97, HotSet: 48 * kib,
+		Blocks: 44, BlockLen: 10, BranchBias: 0.92, FwdJumpFrac: 0.5,
+	},
+
+	// ---- high ILP / execution bound ----
+	"lucas": {
+		Name: "lucas", Class: HighILP,
+		LoadFrac: 0.20, StoreFrac: 0.08, BranchFrac: 0.03, FPFrac: 0.85, LongOpFrac: 0.04,
+		LocalFrac: 0.45, DepP: 0.12, LoadFanout: 0.33, FanoutWin: 4, ChaseFrac: 0.0, IndepMemPar: 8,
+		WorkingSet: 448 * kib, Stride: 16, StreamFrac: 0.9, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 6, BlockLen: 36, BranchBias: 0.98, FwdJumpFrac: 0.1,
+	},
+	"twolf": {
+		Name: "twolf", Class: HighILP,
+		LoadFrac: 0.22, StoreFrac: 0.07, BranchFrac: 0.11, FPFrac: 0.1, LongOpFrac: 0.02,
+		LocalFrac: 0.50, DepP: 0.20, LoadFanout: 0.44, FanoutWin: 5, ChaseFrac: 0.02, IndepMemPar: 4,
+		WorkingSet: 384 * kib, Stride: 8, StreamFrac: 0.4, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 28, BlockLen: 14, BranchBias: 0.90, FwdJumpFrac: 0.45,
+	},
+	"bzip2": {
+		Name: "bzip2", Class: HighILP,
+		LoadFrac: 0.21, StoreFrac: 0.09, BranchFrac: 0.10, FPFrac: 0.0, LongOpFrac: 0.01,
+		LocalFrac: 0.50, DepP: 0.18, LoadFanout: 0.44, FanoutWin: 5, ChaseFrac: 0.0, IndepMemPar: 4,
+		WorkingSet: 448 * kib, Stride: 8, StreamFrac: 0.65, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 16, BlockLen: 16, BranchBias: 0.92, FwdJumpFrac: 0.4,
+	},
+	"wupwise": {
+		Name: "wupwise", Class: HighILP,
+		LoadFrac: 0.19, StoreFrac: 0.08, BranchFrac: 0.04, FPFrac: 0.9, LongOpFrac: 0.05,
+		LocalFrac: 0.45, DepP: 0.10, LoadFanout: 0.33, FanoutWin: 4, ChaseFrac: 0.0, IndepMemPar: 8,
+		WorkingSet: 448 * kib, Stride: 16, StreamFrac: 0.85, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 8, BlockLen: 32, BranchBias: 0.98, FwdJumpFrac: 0.1,
+	},
+	"equake": {
+		Name: "equake", Class: HighILP,
+		LoadFrac: 0.23, StoreFrac: 0.07, BranchFrac: 0.05, FPFrac: 0.75, LongOpFrac: 0.03,
+		LocalFrac: 0.45, DepP: 0.15, LoadFanout: 0.37, FanoutWin: 4, ChaseFrac: 0.0, IndepMemPar: 6,
+		WorkingSet: 448 * kib, Stride: 16, StreamFrac: 0.8, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 10, BlockLen: 26, BranchBias: 0.97, FwdJumpFrac: 0.15,
+	},
+	"mesa": {
+		Name: "mesa", Class: HighILP,
+		LoadFrac: 0.20, StoreFrac: 0.10, BranchFrac: 0.07, FPFrac: 0.6, LongOpFrac: 0.04,
+		LocalFrac: 0.45, DepP: 0.14, LoadFanout: 0.33, FanoutWin: 4, ChaseFrac: 0.0, IndepMemPar: 6,
+		WorkingSet: 384 * kib, Stride: 8, StreamFrac: 0.7, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 14, BlockLen: 20, BranchBias: 0.95, FwdJumpFrac: 0.25,
+	},
+	"swim": {
+		Name: "swim", Class: HighILP,
+		LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.02, FPFrac: 0.9, LongOpFrac: 0.03,
+		LocalFrac: 0.45, DepP: 0.10, LoadFanout: 0.33, FanoutWin: 4, ChaseFrac: 0.0, IndepMemPar: 8,
+		WorkingSet: 448 * kib, Stride: 16, StreamFrac: 0.95, HotFrac: 0.97, HotSet: 32 * kib,
+		Blocks: 4, BlockLen: 40, BranchBias: 0.99, FwdJumpFrac: 0.05,
+	},
+}
+
+// ProfileFor returns the profile for a benchmark name.
+func ProfileFor(name string) (Profile, bool) {
+	p, ok := profiles[name]
+	return p, ok
+}
+
+// Names returns all benchmark names in deterministic (sorted) order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	// insertion sort; tiny slice, avoids importing sort for one call site
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

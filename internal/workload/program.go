@@ -1,0 +1,295 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// memRole classifies how a static memory instruction forms its addresses.
+type memRole uint8
+
+const (
+	memNone   memRole = iota
+	memStream         // walks one of the profile's independent stream cursors
+	memRandom         // uniform over the working set
+	memChase          // pointer chase: address register is the previous load's dest
+)
+
+// chaseReg is the dedicated integer register that threads the pointer-chase
+// chain (dest and source of every chase load). It is excluded from the
+// round-robin destination pool so the chain is never broken by reuse.
+const chaseReg = isa.NumIntRegs - 1
+
+// staticInst is one instruction slot of the synthesized static program.
+type staticInst struct {
+	op         isa.OpClass
+	dest       int8
+	src1, src2 int8
+	role       memRole
+	streamIdx  uint8 // which stream cursor, for memStream
+	// branch fields
+	biasTaken      bool    // the biased direction
+	biasP          float64 // probability the biased direction is followed
+	takenTarget    int32   // static index jumped to when taken
+	notTakenTarget int32   // static index when not taken
+}
+
+// program is a synthesized static loop: a flat instruction sequence divided
+// into basic blocks, each terminated by a conditional branch.
+type program struct {
+	insts      []staticInst
+	blockStart []int32 // static index of each block's first instruction
+}
+
+// regAlloc hands out destination registers round-robin within a class and
+// remembers recent writers so sources can reach back a geometric distance.
+type regAlloc struct {
+	intNext, fpNext int
+	intHist, fpHist []int8 // most recent writers, newest last, bounded
+}
+
+const histDepth = 48
+
+func (a *regAlloc) noteWrite(r int8) {
+	if isa.IsFPReg(int(r)) {
+		a.fpHist = appendBounded(a.fpHist, r)
+	} else {
+		a.intHist = appendBounded(a.intHist, r)
+	}
+}
+
+func appendBounded(h []int8, r int8) []int8 {
+	if len(h) == histDepth {
+		copy(h, h[1:])
+		h[histDepth-1] = r
+		return h
+	}
+	return append(h, r)
+}
+
+// allocInt returns the next integer destination register, skipping the
+// chase register and register 0 (kept as an always-ready base).
+func (a *regAlloc) allocInt() int8 {
+	for {
+		r := a.intNext
+		a.intNext = (a.intNext + 1) % isa.NumIntRegs
+		if r != chaseReg && r != 0 {
+			return int8(r)
+		}
+	}
+}
+
+func (a *regAlloc) allocFP() int8 {
+	r := a.fpNext
+	a.fpNext = (a.fpNext + 1) % isa.NumFPRegs
+	if r == 0 { // fp reg 0 kept always-ready
+		r = a.fpNext
+		a.fpNext = (a.fpNext + 1) % isa.NumFPRegs
+	}
+	return int8(isa.NumIntRegs + r)
+}
+
+// pickSource selects a source register. With probability localFrac it
+// reads a recent producer at a geometric distance back in the write
+// history; otherwise it reads the class's loop-invariant base register
+// (always ready). The invariant fraction is what bounds a load's
+// transitive dependence slice: without it, dependence percolates through
+// the whole instruction stream and the number of load dependents grows
+// linearly with the window — real codes saturate (paper Fig. 3 sees only
+// +56% going from a 32-entry to an effectively 416-entry window).
+func (a *regAlloc) pickSource(r *rng.SplitMix64, fp bool, depP, localFrac float64) int8 {
+	hist := a.intHist
+	base := int8(0)
+	if fp {
+		hist = a.fpHist
+		base = int8(isa.NumIntRegs)
+	}
+	if len(hist) == 0 || !r.Bool(localFrac) {
+		return base
+	}
+	d := r.Geometric(depP)
+	if d > len(hist) {
+		d = len(hist)
+	}
+	return hist[len(hist)-d]
+}
+
+// synthesize builds the static program for a profile. All randomness comes
+// from r, so the same (profile, seed) yields the same program.
+func synthesize(p *Profile, r *rng.SplitMix64) *program {
+	prog := &program{}
+	alloc := &regAlloc{}
+
+	computeFrac := 1 - p.LoadFrac - p.StoreFrac - p.BranchFrac
+	if computeFrac < 0 {
+		computeFrac = 0
+	}
+	opDist := rng.NewDiscrete([]float64{p.LoadFrac, p.StoreFrac, computeFrac})
+
+	// Pending fanout: after a load, force upcoming instructions to consume
+	// its destination.
+	fanoutReg := int8(isa.RegNone)
+	fanoutLeft := 0
+
+	for b := 0; b < p.Blocks; b++ {
+		prog.blockStart = append(prog.blockStart, int32(len(prog.insts)))
+		// Block length varies within ±50% of the average, min 2
+		// (one body instruction plus the terminating branch).
+		blen := p.BlockLen/2 + r.Intn(p.BlockLen+1)
+		if blen < 2 {
+			blen = 2
+		}
+		for i := 0; i < blen-1; i++ {
+			var si staticInst
+			switch opDist.Sample(r) {
+			case 0: // load
+				si = synthLoad(p, r, alloc)
+				if p.FanoutWin > 0 {
+					fanoutReg = si.dest
+					fanoutLeft = p.FanoutWin
+				}
+			case 1: // store
+				si = synthStore(p, r, alloc)
+			default: // compute
+				si = synthCompute(p, r, alloc)
+			}
+			// Apply load fanout: with probability LoadFanout, rewrite a
+			// class-compatible source to consume the last load's
+			// destination.
+			if fanoutLeft > 0 && si.op != isa.OpLoad {
+				fanoutLeft--
+				if r.Bool(p.LoadFanout) {
+					if classCompatible(si.src1, fanoutReg) {
+						si.src1 = fanoutReg
+					} else if classCompatible(si.src2, fanoutReg) {
+						si.src2 = fanoutReg
+					}
+				}
+			}
+			if si.dest != isa.RegNone {
+				alloc.noteWrite(si.dest)
+			}
+			prog.insts = append(prog.insts, si)
+		}
+		// Terminating branch.
+		br := staticInst{
+			op:        isa.OpBranch,
+			dest:      isa.RegNone,
+			src1:      alloc.pickSource(r, false, p.DepP, p.LocalFrac),
+			src2:      isa.RegNone,
+			biasTaken: r.Bool(0.5),
+			biasP:     p.BranchBias,
+		}
+		prog.insts = append(prog.insts, br)
+	}
+
+	// Resolve branch targets now that block boundaries are known.
+	nblocks := len(prog.blockStart)
+	bi := 0
+	for idx := range prog.insts {
+		si := &prog.insts[idx]
+		if si.op != isa.OpBranch {
+			continue
+		}
+		next := (bi + 1) % nblocks
+		var target int
+		if r.Bool(p.FwdJumpFrac) {
+			target = (bi + 2 + r.Intn(2)) % nblocks // short forward skip
+		} else {
+			// Backward jump: to loop head or a recent earlier block.
+			back := 1 + r.Intn(4)
+			target = bi - back
+			if target < 0 {
+				target = 0
+			}
+		}
+		si.takenTarget = prog.blockStart[target]
+		si.notTakenTarget = prog.blockStart[next]
+		bi++
+	}
+	return prog
+}
+
+func classCompatible(cur, repl int8) bool {
+	if cur == isa.RegNone || repl == isa.RegNone {
+		return false
+	}
+	return isa.IsFPReg(int(cur)) == isa.IsFPReg(int(repl))
+}
+
+func synthLoad(p *Profile, r *rng.SplitMix64, alloc *regAlloc) staticInst {
+	si := staticInst{op: isa.OpLoad}
+	if r.Bool(p.ChaseFrac) {
+		// Pointer chase: ptr = *ptr through the dedicated chase register.
+		si.role = memChase
+		si.dest = chaseReg
+		si.src1 = chaseReg
+		si.src2 = isa.RegNone
+		return si
+	}
+	if r.Bool(p.StreamFrac) {
+		si.role = memStream
+		si.streamIdx = uint8(r.Intn(p.IndepMemPar))
+	} else {
+		si.role = memRandom
+	}
+	// Address base register: integer, recent.
+	si.src1 = alloc.pickSource(r, false, p.DepP, p.LocalFrac)
+	si.src2 = isa.RegNone
+	if r.Bool(p.FPFrac) {
+		si.dest = alloc.allocFP()
+	} else {
+		si.dest = alloc.allocInt()
+	}
+	return si
+}
+
+func synthStore(p *Profile, r *rng.SplitMix64, alloc *regAlloc) staticInst {
+	si := staticInst{op: isa.OpStore, dest: isa.RegNone}
+	if r.Bool(p.StreamFrac) {
+		si.role = memStream
+		si.streamIdx = uint8(r.Intn(p.IndepMemPar))
+	} else {
+		si.role = memRandom
+	}
+	si.src1 = alloc.pickSource(r, false, p.DepP, p.LocalFrac) // address
+	si.src2 = alloc.pickSource(r, r.Bool(p.FPFrac), p.DepP, p.LocalFrac)
+	return si
+}
+
+func synthCompute(p *Profile, r *rng.SplitMix64, alloc *regAlloc) staticInst {
+	fp := r.Bool(p.FPFrac)
+	long := r.Bool(p.LongOpFrac)
+	var op isa.OpClass
+	switch {
+	case fp && long:
+		if r.Bool(0.5) {
+			op = isa.OpFPDiv
+		} else {
+			op = isa.OpFPSqrt
+		}
+	case fp:
+		if r.Bool(0.35) {
+			op = isa.OpFPMult
+		} else {
+			op = isa.OpFPAdd
+		}
+	case long:
+		if r.Bool(0.5) {
+			op = isa.OpIntDiv
+		} else {
+			op = isa.OpIntMult
+		}
+	default:
+		op = isa.OpIntAlu
+	}
+	si := staticInst{op: op}
+	si.src1 = alloc.pickSource(r, fp, p.DepP, p.LocalFrac)
+	si.src2 = alloc.pickSource(r, fp, p.DepP, p.LocalFrac)
+	if fp {
+		si.dest = alloc.allocFP()
+	} else {
+		si.dest = alloc.allocInt()
+	}
+	return si
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := ProfileFor(name)
+		if !ok {
+			t.Fatalf("profile %q vanished", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %q has Name %q", name, p.Name)
+		}
+	}
+}
+
+func TestClassesCoverAllThree(t *testing.T) {
+	seen := map[ILPClass]int{}
+	for _, name := range Names() {
+		p, _ := ProfileFor(name)
+		seen[p.Class]++
+	}
+	if seen[LowILP] == 0 || seen[MidILP] == 0 || seen[HighILP] == 0 {
+		t.Fatalf("class coverage: %v", seen)
+	}
+}
+
+func TestClassWorkingSetsOrdered(t *testing.T) {
+	// Low-ILP (memory-bound) working sets must exceed the 2MB L2; high-ILP
+	// must fit comfortably.
+	for _, name := range Names() {
+		p, _ := ProfileFor(name)
+		switch p.Class {
+		case LowILP:
+			if p.WorkingSet <= 2<<20 {
+				t.Errorf("%s: low-ILP working set %d fits L2", name, p.WorkingSet)
+			}
+		case HighILP:
+			if p.WorkingSet >= 2<<20 {
+				t.Errorf("%s: high-ILP working set %d overflows L2", name, p.WorkingSet)
+			}
+		}
+	}
+}
+
+func TestMixesMatchTable2(t *testing.T) {
+	if len(Mixes) != 11 {
+		t.Fatalf("%d mixes", len(Mixes))
+	}
+	// Spot-check Table 2 rows.
+	m1, ok := MixByName("Mix 1")
+	if !ok || m1.Benchmarks != [4]string{"ammp", "art", "mgrid", "apsi"} {
+		t.Fatalf("Mix 1 = %+v", m1)
+	}
+	m9, _ := MixByName("Mix 9")
+	if m9.Benchmarks != [4]string{"mgrid", "parser", "perlbmk", "mcf"} {
+		t.Fatalf("Mix 9 = %+v", m9)
+	}
+	if _, ok := MixByName("Mix 99"); ok {
+		t.Fatal("bogus mix found")
+	}
+}
+
+func TestMixClassificationConsistent(t *testing.T) {
+	// Every mix's label must match the classes of its benchmarks.
+	count := func(m Mix, class ILPClass) int {
+		n := 0
+		for _, b := range m.Benchmarks {
+			p, ok := ProfileFor(b)
+			if !ok {
+				t.Fatalf("%s: unknown benchmark %q", m.Name, b)
+			}
+			if p.Class == class {
+				n++
+			}
+		}
+		return n
+	}
+	for _, m := range Mixes {
+		low, high := count(m, LowILP), count(m, HighILP)
+		switch m.Classification {
+		case "4 Low IPC":
+			if low != 4 {
+				t.Errorf("%s: %d low", m.Name, low)
+			}
+		case "3 Low IPC + 1 Mid IPC":
+			if low != 3 || high != 0 {
+				t.Errorf("%s: low=%d high=%d", m.Name, low, high)
+			}
+		case "2 Low IPC + 2 Mid IPC":
+			if low != 2 || high != 0 {
+				t.Errorf("%s: low=%d high=%d", m.Name, low, high)
+			}
+		case "4 High IPC":
+			if high != 4 {
+				t.Errorf("%s: %d high", m.Name, high)
+			}
+		default:
+			t.Errorf("%s: unknown label %q", m.Name, m.Classification)
+		}
+	}
+}
+
+func TestMixGenerators(t *testing.T) {
+	m, _ := MixByName("Mix 1")
+	gens, err := MixGenerators(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gens {
+		if g == nil {
+			t.Fatalf("generator %d nil", i)
+		}
+	}
+	// Distinct threads must have distinct address regions.
+	r0 := gens[0].Regions()
+	r1 := gens[1].Regions()
+	if r0[1].Base == r1[1].Base {
+		t.Fatal("threads share a data region")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	prof, _ := ProfileFor("art")
+	a := MustNewGenerator(prof, 9)
+	b := MustNewGenerator(prof, 9)
+	var ia, ib isa.TraceInst
+	for i := 0; i < 10000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia != ib {
+			t.Fatalf("diverged at %d: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	prof, _ := ProfileFor("art")
+	a := MustNewGenerator(prof, 1)
+	b := MustNewGenerator(prof, 2)
+	var ia, ib isa.TraceInst
+	diff := false
+	for i := 0; i < 1000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia.Addr != ib.Addr {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical address streams")
+	}
+}
+
+func TestStaticProgramStablePerBenchmark(t *testing.T) {
+	prof, _ := ProfileFor("parser")
+	a := MustNewGenerator(prof, 1)
+	b := MustNewGenerator(prof, 99)
+	if a.ProgramLen() != b.ProgramLen() {
+		t.Fatal("static program depends on the seed")
+	}
+}
+
+func TestTraceValidity(t *testing.T) {
+	for _, name := range Names() {
+		prof, _ := ProfileFor(name)
+		g := MustNewGenerator(prof, 3)
+		var ti isa.TraceInst
+		for i := 0; i < 20000; i++ {
+			g.Next(&ti)
+			if err := ti.Validate(); err != nil {
+				t.Fatalf("%s instruction %d: %v", name, i, err)
+			}
+		}
+	}
+}
+
+func TestMeasuredMixPlausible(t *testing.T) {
+	// The profile fractions seed the static program; the dynamic mix also
+	// depends on which blocks the biased branches make hot, so only broad
+	// plausibility is asserted (each op class present in sane proportion).
+	for _, name := range []string{"art", "parser", "swim", "mcf"} {
+		prof, _ := ProfileFor(name)
+		g := MustNewGenerator(prof, 5)
+		st := Measure(g, 200000)
+		loadFrac := float64(st.PerOp[isa.OpLoad]) / float64(st.Total)
+		if loadFrac < 0.10 || loadFrac > 0.60 {
+			t.Errorf("%s: implausible load fraction %.3f", name, loadFrac)
+		}
+		storeFrac := float64(st.PerOp[isa.OpStore]) / float64(st.Total)
+		if storeFrac < 0.01 || storeFrac > 0.30 {
+			t.Errorf("%s: implausible store fraction %.3f", name, storeFrac)
+		}
+		if st.Branches == 0 {
+			t.Errorf("%s: no branches generated", name)
+		}
+	}
+}
+
+func TestBranchBiasRealized(t *testing.T) {
+	prof, _ := ProfileFor("swim") // bias 0.99
+	g := MustNewGenerator(prof, 5)
+	st := Measure(g, 100000)
+	// With a 0.99 per-branch bias, the taken rate must be strongly
+	// polarized (either high or low depending on static directions) and
+	// outcomes must not be 50/50 noise.
+	rate := float64(st.Taken) / float64(st.Branches)
+	if rate > 0.45 && rate < 0.55 {
+		t.Fatalf("biased branches look random: taken rate %.2f", rate)
+	}
+}
+
+func TestAddressesWithinRegion(t *testing.T) {
+	prof, _ := ProfileFor("mcf")
+	g := MustNewGenerator(prof, 7)
+	regions := g.Regions()
+	data := regions[1]
+	var ti isa.TraceInst
+	for i := 0; i < 50000; i++ {
+		g.Next(&ti)
+		if !ti.Op.IsMem() {
+			continue
+		}
+		if ti.Addr < data.Base || ti.Addr >= data.Base+data.Size+16 {
+			t.Fatalf("address %#x outside region [%#x, %#x)", ti.Addr, data.Base, data.Base+data.Size)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	prof, _ := ProfileFor("gzip")
+	g := MustNewGenerator(prof, 7)
+	var ti isa.TraceInst
+	for i := 0; i < 10000; i++ {
+		g.Next(&ti)
+		if ti.Op == isa.OpBranch {
+			tgt := g.BranchTarget(ti.PC)
+			code := g.Regions()[0]
+			if tgt < code.Base || tgt >= code.Base+code.Size {
+				t.Fatalf("branch target %#x outside code region", tgt)
+			}
+		}
+	}
+}
+
+func TestRegionsShape(t *testing.T) {
+	prof, _ := ProfileFor("art")
+	g := MustNewGenerator(prof, 7)
+	regions := g.Regions()
+	if len(regions) != 2 || !regions[0].Code || regions[1].Code {
+		t.Fatalf("regions: %+v", regions)
+	}
+	if regions[1].Size != prof.WorkingSet {
+		t.Fatal("data region size mismatch")
+	}
+}
+
+func TestInvalidProfileRejected(t *testing.T) {
+	prof, _ := ProfileFor("art")
+	prof.LoadFrac = 0.9 // no compute left
+	if _, err := NewGenerator(prof, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	prof2, _ := ProfileFor("art")
+	prof2.LocalFrac = 0
+	if _, err := NewGenerator(prof2, 1); err == nil {
+		t.Fatal("zero LocalFrac accepted")
+	}
+}
