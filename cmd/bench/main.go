@@ -1,0 +1,45 @@
+// Command bench measures simulator performance — wall-clock cycles per
+// second, nanoseconds per committed instruction and heap allocations per
+// run — for every evaluated scheme over the memory-bound Table-2 mixes,
+// and writes the machine-readable report consumed by CI.
+//
+//	bench -budget 50000 -seed 1 -out BENCH_results.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		budget = flag.Uint64("budget", 50_000, "instructions per thread per run")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		out    = flag.String("out", "BENCH_results.json", "report path")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultBenchParams()
+	p.Budget = *budget
+	p.Seed = *seed
+
+	rep, err := experiments.RunBench(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-22s %-7s %12s %14s %12s %10s\n",
+		"scheme", "mix", "cycles", "cycles/sec", "ns/instr", "allocs/op")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-22s %-7s %12d %14.0f %12.1f %10.0f\n",
+			r.Scheme, r.Mix, r.Cycles, r.CyclesPerSec, r.NanosPerInstruction, r.AllocsPerOp)
+	}
+	fmt.Println("wrote", *out)
+}

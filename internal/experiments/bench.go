@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// BenchParams configures a simulator-performance sweep: every scheme is
+// run over every mix with a fixed seed, and the wall-clock cost of
+// simulation (not the simulated machine's quality) is recorded.
+type BenchParams struct {
+	Budget  uint64 // instructions per thread per run
+	Seed    uint64
+	Mixes   []workload.Mix // defaults to the memory-bound Table-2 mixes 1-4
+	Schemes []SchemeSpec   // defaults to the paper's evaluated configurations
+}
+
+// DefaultBenchParams returns the sweep cmd/bench runs: the memory-bound
+// mixes (the paper's target workloads, and the ones that stress the miss
+// tracking and DoD counting hot paths) under every evaluated scheme.
+func DefaultBenchParams() BenchParams {
+	return BenchParams{
+		Budget: 50_000,
+		Seed:   1,
+		Mixes:  workload.Mixes[:4],
+		Schemes: []SchemeSpec{
+			Baseline32(),
+			RROB(16),
+			RelaxedRROB(15),
+			CDRROB(15),
+			PROB(5),
+			{Label: "Shared_128", Opt: tlrob.Options{Scheme: tlrob.SharedSingle, L1ROB: 32}},
+		},
+	}
+}
+
+// BenchRow is one (scheme, mix) performance measurement.
+type BenchRow struct {
+	Scheme              string  `json:"scheme"`
+	Mix                 string  `json:"mix"`
+	Cycles              int64   `json:"cycles"`       // simulated cycles
+	Instructions        uint64  `json:"instructions"` // committed, summed over threads
+	WallNanos           int64   `json:"wall_nanos"`
+	CyclesPerSec        float64 `json:"cycles_per_sec"`
+	NanosPerInstruction float64 `json:"ns_per_instruction"`
+	AllocsPerOp         float64 `json:"allocs_per_op"` // heap objects per run
+	BytesPerOp          float64 `json:"bytes_per_op"`
+	AllocsPerKiloInstr  float64 `json:"allocs_per_kilo_instruction"`
+	FairThroughput      float64 `json:"fair_throughput"`
+	DoDMean             float64 `json:"dod_mean"`
+}
+
+// BenchReport is the machine-readable output of a sweep
+// (BENCH_results.json).
+type BenchReport struct {
+	Budget    uint64     `json:"budget"`
+	Seed      uint64     `json:"seed"`
+	GoVersion string     `json:"go_version"`
+	Rows      []BenchRow `json:"rows"`
+}
+
+// RunBench executes the sweep sequentially (parallel runs would pollute
+// each other's wall-clock and allocation measurements) and returns the
+// report. Each configuration is run once unmeasured to warm the
+// allocator-backed scratch pools, then once measured.
+func RunBench(p BenchParams) (BenchReport, error) {
+	if p.Budget == 0 || p.Seed == 0 || len(p.Mixes) == 0 || len(p.Schemes) == 0 {
+		def := DefaultBenchParams()
+		if p.Budget == 0 {
+			p.Budget = def.Budget
+		}
+		if p.Seed == 0 {
+			p.Seed = def.Seed
+		}
+		if len(p.Mixes) == 0 {
+			p.Mixes = def.Mixes
+		}
+		if len(p.Schemes) == 0 {
+			p.Schemes = def.Schemes
+		}
+	}
+	rep := BenchReport{Budget: p.Budget, Seed: p.Seed, GoVersion: runtime.Version()}
+	var ms0, ms1 runtime.MemStats
+	seen := map[string]bool{}
+	var benches []string
+	for _, mix := range p.Mixes {
+		for _, b := range mix.Benchmarks {
+			if !seen[b] {
+				seen[b] = true
+				benches = append(benches, b)
+			}
+		}
+	}
+	for _, spec := range p.Schemes {
+		opt := spec.Opt
+		opt.Budget = p.Budget
+		opt.Seed = p.Seed
+		// Single-thread reference IPCs are computed outside the timed
+		// region so the measurement covers exactly one 4-thread run.
+		singles, err := tlrob.SingleIPCs(benches, opt)
+		if err != nil {
+			return rep, fmt.Errorf("bench %s singles: %w", spec.Label, err)
+		}
+		for _, mix := range p.Mixes {
+			if _, err := tlrob.RunMix(mix, opt, singles); err != nil { // warm-up
+				return rep, fmt.Errorf("bench %s %s: %w", spec.Label, mix.Name, err)
+			}
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			res, err := tlrob.RunMix(mix, opt, singles)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				return rep, fmt.Errorf("bench %s %s: %w", spec.Label, mix.Name, err)
+			}
+			var committed uint64
+			for _, th := range res.Threads {
+				committed += th.Committed
+			}
+			row := BenchRow{
+				Scheme:              spec.Label,
+				Mix:                 mix.Name,
+				Cycles:              res.Cycles,
+				Instructions:        committed,
+				WallNanos:           wall.Nanoseconds(),
+				CyclesPerSec:        metrics.PerSecond(float64(res.Cycles), wall.Nanoseconds()),
+				NanosPerInstruction: metrics.NanosPer(wall.Nanoseconds(), float64(committed)),
+				AllocsPerOp:         float64(ms1.Mallocs - ms0.Mallocs),
+				BytesPerOp:          float64(ms1.TotalAlloc - ms0.TotalAlloc),
+				FairThroughput:      res.FairThroughput,
+				DoDMean:             res.DoDMean,
+			}
+			if committed > 0 {
+				row.AllocsPerKiloInstr = row.AllocsPerOp * 1000 / float64(committed)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (r BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro"
 	"repro/internal/metrics"
@@ -164,33 +166,42 @@ func (r *Runner) copySingles() map[string]float64 {
 	return out
 }
 
-// parallel runs fn(0..n-1) across the worker pool, returning the first error.
+// parallel runs fn(0..n-1) across the worker pool. Every error is
+// collected and returned joined (a failing sweep reports all broken
+// configurations, not an arbitrary first one), and no new jobs are
+// dispatched once a failure is observed — already-running jobs finish.
 func (r *Runner) parallel(n int, fn func(i int) error) error {
 	workers := r.params.workers()
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errs   []error
+		failed atomic.Bool
+	)
 	jobs := make(chan int)
-	errCh := make(chan error, n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				if err := fn(i); err != nil {
-					errCh <- err
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
 
 // RunScheme evaluates one scheme over all Table-2 mixes.

@@ -9,7 +9,7 @@ package iq
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"repro/internal/isa"
 	"repro/internal/uop"
@@ -28,11 +28,26 @@ type Entry struct {
 // Ready reports whether both sources are available.
 func (e *Entry) Ready() bool { return e.Rdy[0] && e.Rdy[1] }
 
-// IQ is the shared issue queue.
+// waiter records that slot was waiting on a register when it was inserted;
+// gen detects slots recycled since (stale waiters are skipped).
+type waiter struct {
+	slot int32
+	gen  uint32
+}
+
+// IQ is the shared issue queue. The hardware CAM broadcast is modelled in
+// RAM terms: each not-ready source registers a waiter on its physical
+// register at insert, so Wakeup touches exactly the waiting entries
+// instead of scanning every slot, and a ready bitmap lets CollectReady
+// enumerate only the slots whose operands have all arrived.
 type IQ struct {
 	entries   []Entry
 	count     int
 	perThread []int
+	free      []int      // stack of free slot indices (O(1) insert)
+	gen       []uint32   // per-slot recycle generation (stale-waiter check)
+	ready     []uint64   // bitmap: valid && both sources ready
+	waiters   [][]waiter // per physical register, grown on demand
 	stats     Stats
 }
 
@@ -50,10 +65,17 @@ func New(size, threads int) (*IQ, error) {
 	if size < 1 || threads < 1 {
 		return nil, fmt.Errorf("iq: bad geometry size=%d threads=%d", size, threads)
 	}
-	return &IQ{
+	q := &IQ{
 		entries:   make([]Entry, size),
 		perThread: make([]int, threads),
-	}, nil
+		free:      make([]int, size),
+		gen:       make([]uint32, size),
+		ready:     make([]uint64, (size+63)/64),
+	}
+	for i := range q.free {
+		q.free[i] = size - 1 - i
+	}
+	return q, nil
 }
 
 // Size returns the queue capacity.
@@ -77,30 +99,59 @@ func (q *IQ) Tick() {
 	q.stats.Cycles++
 }
 
-// Insert places an entry in a free slot, returning false when full.
-func (q *IQ) Insert(e Entry) bool {
-	if q.count == len(q.entries) {
-		return false
+func (q *IQ) setReady(i int) { q.ready[i>>6] |= 1 << (uint(i) & 63) }
+func (q *IQ) clrReady(i int) { q.ready[i>>6] &^= 1 << (uint(i) & 63) }
+func (q *IQ) addWaiter(phys int32, i int) {
+	for int(phys) >= len(q.waiters) {
+		q.waiters = append(q.waiters, nil)
 	}
-	for i := range q.entries {
-		if !q.entries[i].Valid {
-			e.Valid = true
-			q.entries[i] = e
-			q.count++
-			q.perThread[e.H.Tid]++
-			q.stats.Inserted++
-			return true
-		}
-	}
-	panic("iq: count out of sync")
+	q.waiters[phys] = append(q.waiters[phys], waiter{slot: int32(i), gen: q.gen[i]})
 }
 
-// Wakeup broadcasts a completed physical register to all waiting entries.
+// Insert places an entry in a free slot, returning false when full. Slot
+// choice is invisible to timing: selection is oldest-first by sequence
+// number, never by slot index.
+func (q *IQ) Insert(e Entry) bool {
+	if len(q.free) == 0 {
+		if q.count != len(q.entries) {
+			panic("iq: count out of sync")
+		}
+		return false
+	}
+	i := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	e.Valid = true
+	q.entries[i] = e
+	q.count++
+	q.perThread[e.H.Tid]++
+	q.stats.Inserted++
+	if e.Ready() {
+		q.setReady(i)
+	} else {
+		if !e.Rdy[0] {
+			q.addWaiter(e.Src[0], i)
+		}
+		if !e.Rdy[1] && e.Src[1] != e.Src[0] {
+			q.addWaiter(e.Src[1], i)
+		}
+	}
+	return true
+}
+
+// Wakeup broadcasts a completed physical register to its waiting entries.
 func (q *IQ) Wakeup(phys int32) {
-	for i := range q.entries {
+	if int(phys) >= len(q.waiters) {
+		return
+	}
+	ws := q.waiters[phys]
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		i := int(w.slot)
 		e := &q.entries[i]
-		if !e.Valid {
-			continue
+		if q.gen[i] != w.gen || !e.Valid {
+			continue // slot recycled or squashed since registration
 		}
 		if e.Src[0] == phys {
 			e.Rdy[0] = true
@@ -108,22 +159,32 @@ func (q *IQ) Wakeup(phys int32) {
 		if e.Src[1] == phys {
 			e.Rdy[1] = true
 		}
+		if e.Ready() {
+			q.setReady(i)
+		}
 	}
+	q.waiters[phys] = ws[:0]
 }
 
 // CollectReady appends the indices of all ready entries to buf, sorted
-// oldest-first by sequence number, and returns it.
+// oldest-first by sequence number, and returns it. The sort is a
+// hand-rolled insertion sort: sequence numbers are unique so the result
+// is the same permutation sort.Slice produced, without the per-call
+// interface boxing that allocated on every cycle.
 func (q *IQ) CollectReady(buf []int) []int {
 	buf = buf[:0]
-	for i := range q.entries {
-		e := &q.entries[i]
-		if e.Valid && e.Ready() {
-			buf = append(buf, i)
+	for w, word := range q.ready {
+		base := w << 6
+		for word != 0 {
+			buf = append(buf, base+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
-	sort.Slice(buf, func(a, b int) bool {
-		return q.entries[buf[a]].Seq < q.entries[buf[b]].Seq
-	})
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && q.entries[buf[j]].Seq < q.entries[buf[j-1]].Seq; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
 	return buf
 }
 
@@ -139,6 +200,9 @@ func (q *IQ) Remove(i int) {
 	q.perThread[e.H.Tid]--
 	e.Valid = false
 	q.count--
+	q.gen[i]++
+	q.clrReady(i)
+	q.free = append(q.free, i)
 	q.stats.Issued++
 }
 
@@ -152,6 +216,9 @@ func (q *IQ) SquashYounger(tid int8, seq uint64) int {
 			e.Valid = false
 			q.count--
 			q.perThread[tid]--
+			q.gen[i]++
+			q.clrReady(i)
+			q.free = append(q.free, i)
 			q.stats.Squashed++
 			n++
 		}
@@ -164,13 +231,28 @@ func (q *IQ) CheckInvariants() error {
 	live := 0
 	per := make([]int, len(q.perThread))
 	for i := range q.entries {
-		if q.entries[i].Valid {
+		e := &q.entries[i]
+		rdyBit := q.ready[i>>6]&(1<<(uint(i)&63)) != 0
+		if e.Valid {
 			live++
-			per[q.entries[i].H.Tid]++
+			per[e.H.Tid]++
+			if rdyBit != e.Ready() {
+				return fmt.Errorf("iq: slot %d ready bit %v but entry ready %v", i, rdyBit, e.Ready())
+			}
+		} else if rdyBit {
+			return fmt.Errorf("iq: slot %d ready bit set but invalid", i)
 		}
 	}
 	if live != q.count {
 		return fmt.Errorf("iq: count=%d live=%d", q.count, live)
+	}
+	if len(q.free)+q.count != len(q.entries) {
+		return fmt.Errorf("iq: %d free + %d live != %d slots", len(q.free), q.count, len(q.entries))
+	}
+	for _, i := range q.free {
+		if q.entries[i].Valid {
+			return fmt.Errorf("iq: slot %d on free list but valid", i)
+		}
 	}
 	for t := range per {
 		if per[t] != q.perThread[t] {

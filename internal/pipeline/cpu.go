@@ -51,7 +51,20 @@ type thread struct {
 	// of real-path instructions squashed by a FLUSH so they can be
 	// re-fetched (a trace cannot rewind).
 	fq     feQueue
-	replay []isa.TraceInst
+	replay replayQueue
+
+	// Squash-path scratch buffers, reused across mispredictions so the
+	// replay rebuild is allocation-free in steady state: sqScratch holds
+	// the squashed ROB entries youngest-first, mergeScratch becomes the
+	// rebuilt replay backing array (swapped with the old one).
+	sqScratch    []isa.TraceInst
+	mergeScratch []isa.TraceInst
+
+	// instScratch receives the next trace instruction in fetchThread. It
+	// lives on the thread (not the stack) because TraceSource.Next takes a
+	// pointer through an interface, which escape analysis would otherwise
+	// heap-allocate once per fetched instruction.
+	instScratch isa.TraceInst
 
 	fetchStalledUntil int64
 	mispredPending    bool // a fetched mispredicted branch is unresolved

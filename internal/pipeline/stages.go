@@ -40,6 +40,57 @@ func (q *feQueue) clear() {
 // entries returns the live entries oldest-first (read-only use).
 func (q *feQueue) entries() []feEntry { return q.buf[q.head:] }
 
+// ---- replay queue ----
+
+// replayQueue holds real-path instructions awaiting re-fetch after a
+// squash or I-cache stall. It is a slice-as-deque with a head index so
+// popFront and the common pushFront (re-queueing the instruction just
+// popped) are O(1) and allocation-free in steady state — the seed's
+// `append([]isa.TraceInst{inst}, replay...)` prepend allocated a fresh
+// slice on every replayed instruction.
+type replayQueue struct {
+	buf  []isa.TraceInst
+	head int
+}
+
+func (q *replayQueue) len() int { return len(q.buf) - q.head }
+
+func (q *replayQueue) popFront(out *isa.TraceInst) {
+	*out = q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+}
+
+// pushFront re-queues one instruction at the head. When the head slot was
+// vacated by a popFront this is a store; otherwise (a trace-fresh
+// instruction hitting an I-cache stall with an empty queue) the buffer
+// shifts right, which amortizes to nothing once its capacity has grown.
+func (q *replayQueue) pushFront(inst isa.TraceInst) {
+	if q.head > 0 {
+		q.head--
+		q.buf[q.head] = inst
+		return
+	}
+	q.buf = append(q.buf, isa.TraceInst{})
+	copy(q.buf[1:], q.buf)
+	q.buf[0] = inst
+}
+
+// replace swaps in a rebuilt backing array (program order, head 0) and
+// returns the old one for reuse as the next rebuild's scratch.
+func (q *replayQueue) replace(buf []isa.TraceInst) []isa.TraceInst {
+	old := q.buf[:0]
+	q.buf = buf
+	q.head = 0
+	return old
+}
+
+// pending returns the queued instructions oldest-first (read-only use).
+func (q *replayQueue) pending() []isa.TraceInst { return q.buf[q.head:] }
+
 // ---- fetch ----
 
 const wrongPathPCBase = 0xffff_0000_0000_0000
@@ -63,9 +114,8 @@ func (th *thread) wpInst() isa.TraceInst {
 // nextInst returns the next correct-path instruction, draining the replay
 // queue (instructions squashed by FLUSH) before advancing the trace.
 func (c *CPU) nextInst(th *thread, out *isa.TraceInst) {
-	if len(th.replay) > 0 {
-		*out = th.replay[0]
-		th.replay = th.replay[1:]
+	if th.replay.len() > 0 {
+		th.replay.popFront(out)
 		return
 	}
 	th.src.Next(out)
@@ -106,8 +156,8 @@ func (c *CPU) fetchThread(tid int, th *thread, limit int) int {
 			count++
 			continue
 		}
-		var inst isa.TraceInst
-		c.nextInst(th, &inst)
+		inst := &th.instScratch
+		c.nextInst(th, inst)
 		if !checkedICache {
 			// One I-cache probe per fetch block; a miss stalls the thread.
 			res := c.hier.Fetch(inst.PC, c.now)
@@ -115,11 +165,11 @@ func (c *CPU) fetchThread(tid int, th *thread, limit int) int {
 			if res.L1Miss {
 				th.fetchStalledUntil = res.ReadyAt
 				// The instruction is not lost: replay it when fetch resumes.
-				th.replay = append([]isa.TraceInst{inst}, th.replay...)
+				th.replay.pushFront(*inst)
 				break
 			}
 		}
-		e := feEntry{inst: inst, readyAt: readyAt}
+		e := feEntry{inst: *inst, readyAt: readyAt}
 		if inst.Op == isa.OpBranch {
 			hist := c.gshare.Hist(tid)
 			pred := c.gshare.Predict(inst.PC, hist)
@@ -160,8 +210,14 @@ func (c *CPU) fetchThread(tid int, th *thread, limit int) int {
 func (c *CPU) dispatch() {
 	budget := c.cfg.DispatchWidth
 	n := c.cfg.Threads
+	tid := c.dispatchRR
 	for i := 0; i < n && budget > 0; i++ {
-		tid := (c.dispatchRR + i) % n
+		if i > 0 {
+			tid++
+			if tid == n {
+				tid = 0
+			}
+		}
 		th := &c.threads[tid]
 		for budget > 0 && th.fq.len() > 0 {
 			fe := th.fq.peek()
@@ -175,7 +231,10 @@ func (c *CPU) dispatch() {
 			budget--
 		}
 	}
-	c.dispatchRR = (c.dispatchRR + 1) % n
+	c.dispatchRR++
+	if c.dispatchRR == n {
+		c.dispatchRR = 0
+	}
 }
 
 // dispatchOne renames and inserts one instruction; false means a resource
@@ -422,7 +481,7 @@ func (c *CPU) missDetect(tid int, u *uop.UOp) {
 
 func (c *CPU) complete(tid int, u *uop.UOp) {
 	th := &c.threads[tid]
-	u.Executed = true
+	c.rob.Ring(tid).MarkExecuted(u.RobSlot)
 	u.CompleteAt = c.now
 	if u.DestPhys != uop.NoReg {
 		c.rf.SetReady(u.DestPhys)
@@ -509,7 +568,7 @@ func (c *CPU) squash(tid int, targetSeq uint64) {
 	th := &c.threads[tid]
 	ring := c.rob.Ring(tid)
 
-	var replayRev []isa.TraceInst // youngest-first; reversed below
+	replayRev := th.sqScratch[:0] // youngest-first; reversed below
 	var oldestBranchHist uint64
 	haveBranchHist := false
 
@@ -581,16 +640,22 @@ func (c *CPU) squash(tid int, targetSeq uint64) {
 				Taken: t.Taken,
 			})
 		}
-		t.Squashed = true
+		ring.MarkSquashed(t.RobSlot)
 		c.stats.SquashedUops++
 		ring.PopTail()
 	}
 	c.iq.SquashYounger(int8(tid), targetSeq)
 
-	// Front-end entries are younger than everything in the ROB. Collect
-	// real-path ones for replay in order; note the oldest branch history
-	// only if the ROB walk found none.
-	var feReplay []isa.TraceInst
+	// Rebuild the replay queue in program order into the reusable merge
+	// scratch: squashed ROB entries (oldest first), then squashed
+	// front-end entries, then whatever was already queued for replay.
+	// Front-end entries are younger than everything in the ROB; note the
+	// oldest branch history there only if the ROB walk found none.
+	merged := th.mergeScratch[:0]
+	for i := len(replayRev) - 1; i >= 0; i-- {
+		merged = append(merged, replayRev[i])
+	}
+	fePrepended := 0
 	for i := range th.fq.entries() {
 		e := &th.fq.entries()[i]
 		if e.wrongPath {
@@ -608,22 +673,18 @@ func (c *CPU) squash(tid int, targetSeq uint64) {
 				th.wrongPath = false
 			}
 		}
-		feReplay = append(feReplay, e.inst)
+		merged = append(merged, e.inst)
+		fePrepended++
 	}
 	th.fq.clear()
 
-	// Rebuild the replay queue in program order: squashed ROB entries
-	// (oldest first), then squashed front-end entries, then whatever was
-	// already queued for replay.
-	if len(replayRev) > 0 || len(feReplay) > 0 {
-		merged := make([]isa.TraceInst, 0, len(replayRev)+len(feReplay)+len(th.replay))
-		for i := len(replayRev) - 1; i >= 0; i-- {
-			merged = append(merged, replayRev[i])
-		}
-		merged = append(merged, feReplay...)
-		merged = append(merged, th.replay...)
-		th.replay = merged
+	if len(replayRev) > 0 || fePrepended > 0 {
+		merged = append(merged, th.replay.pending()...)
+		th.mergeScratch = th.replay.replace(merged)
+	} else {
+		th.mergeScratch = merged[:0]
 	}
+	th.sqScratch = replayRev[:0]
 	if haveBranchHist {
 		c.gshare.SetHist(tid, oldestBranchHist)
 	}

@@ -9,7 +9,6 @@ package policy
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Kind selects a policy implementation.
@@ -168,7 +167,10 @@ func (r *rotor) next(n int) int {
 	if n == 0 {
 		return 0
 	}
-	r.rr = (r.rr + 1) % n
+	r.rr++
+	if r.rr >= n {
+		r.rr = 0
+	}
 	return r.rr
 }
 
@@ -186,11 +188,19 @@ func icountOrder(snaps []Snapshot, order []int, off int, skip func(*Snapshot) bo
 		}
 		order = append(order, t)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		sa := snaps[order[a]].FrontEnd + snaps[order[a]].IQ
-		sb := snaps[order[b]].FrontEnd + snaps[order[b]].IQ
-		return sa < sb
-	})
+	// Stable insertion sort: equal-count threads keep their rotated
+	// enumeration order, and nothing is boxed — sort.SliceStable here
+	// allocated twice per simulated cycle.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			sa := snaps[order[j-1]].FrontEnd + snaps[order[j-1]].IQ
+			sb := snaps[order[j]].FrontEnd + snaps[order[j]].IQ
+			if sb >= sa {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
 	return order
 }
 

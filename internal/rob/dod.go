@@ -1,15 +1,44 @@
 package rob
 
-import "repro/internal/uop"
+import (
+	"fmt"
 
-// ApproxDoD is the paper's low-complexity dependence counter (§4.1): it
-// walks the ROB entries younger than the load at loadSlot and counts those
-// whose "result valid" bit is still clear — i.e. every not-yet-executed
-// instruction is *assumed* to depend on the load. No register tags are
-// propagated. The accuracy of the approximation improves with the delay
-// between miss detection and counting, because independent short-latency
-// work drains in the interim.
+	"repro/internal/uop"
+)
+
+// DebugCrossCheckDoD, when set, makes every ApproxDoD query re-run the
+// original linear §4.1 walk and panic on divergence from the incremental
+// counter. It is a correctness harness for tests and debugging; leave it
+// off in measurement runs.
+var DebugCrossCheckDoD bool
+
+// ApproxDoD is the paper's low-complexity dependence counter (§4.1): the
+// number of ROB entries younger than the load at loadSlot whose "result
+// valid" bit is still clear — i.e. every not-yet-executed instruction is
+// *assumed* to depend on the load. No register tags are propagated. The
+// accuracy of the approximation improves with the delay between miss
+// detection and counting, because independent short-latency work drains
+// in the interim.
+//
+// The count is answered from the ring's incremental unexecuted-entry
+// state (maintained at push/execute/squash/commit) in O(log capacity)
+// instead of walking the window; ApproxDoDLinear is the original walk,
+// kept as the cross-check oracle behind DebugCrossCheckDoD.
 func ApproxDoD(r *Ring, loadSlot int32) int {
+	n := r.UnexecutedYounger(loadSlot)
+	if DebugCrossCheckDoD {
+		if lin := ApproxDoDLinear(r, loadSlot); lin != n {
+			panic(fmt.Sprintf("rob: incremental DoD %d diverges from linear walk %d (slot %d)", n, lin, loadSlot))
+		}
+	}
+	return n
+}
+
+// ApproxDoDLinear is the original O(window) counting walk. It is the
+// reference implementation the incremental counter is validated against
+// (see DebugCrossCheckDoD and the property tests); the simulator's hot
+// paths use ApproxDoD.
+func ApproxDoDLinear(r *Ring, loadSlot int32) int {
 	pos := r.PosOf(loadSlot)
 	if pos < 0 {
 		return 0

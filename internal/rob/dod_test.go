@@ -16,12 +16,14 @@ func buildWindow(younger int, executed func(i int) bool) (*Ring, int32) {
 	ld.DestPhys = 100
 	ld.Seq = 1
 	for i := 0; i < younger; i++ {
-		_, e := r.Push()
+		s, e := r.Push()
 		e.Op = isa.OpIntAlu
 		e.Seq = uint64(i + 2)
 		e.DestPhys = int32(200 + i)
 		e.SrcPhys = [2]int32{uop.NoReg, uop.NoReg}
-		e.Executed = executed(i)
+		if executed(i) {
+			r.MarkExecuted(s)
+		}
 	}
 	return r, slot
 }
@@ -50,7 +52,7 @@ func TestApproxDoDDeadSlot(t *testing.T) {
 
 func TestApproxDoDSkipsSquashed(t *testing.T) {
 	r, slot := buildWindow(4, func(int) bool { return false })
-	r.At(r.SlotAt(2)).Squashed = true
+	r.MarkSquashed(r.SlotAt(2))
 	if got := ApproxDoD(r, slot); got != 3 {
 		t.Fatalf("ApproxDoD = %d, want 3", got)
 	}
@@ -107,7 +109,7 @@ func TestApproxOverestimatesExact(t *testing.T) {
 	dep.SrcPhys = [2]int32{100, uop.NoReg}
 	dep.DestPhys = 101
 	// independent but not yet executed (counting taken too early)
-	_, ind := r.Push()
+	indSlot, ind := r.Push()
 	ind.SrcPhys = [2]int32{7, uop.NoReg}
 	ind.DestPhys = 102
 	approx := ApproxDoD(r, slot)
@@ -116,7 +118,7 @@ func TestApproxOverestimatesExact(t *testing.T) {
 		t.Fatalf("approx=%d exact=%d", approx, exact)
 	}
 	// Later: the independent instruction has executed; counts agree.
-	ind.Executed = true
+	r.MarkExecuted(indSlot)
 	if got := ApproxDoD(r, slot); got != exact {
 		t.Fatalf("after drain approx=%d exact=%d", got, exact)
 	}

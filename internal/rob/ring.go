@@ -17,11 +17,25 @@ import (
 // the entry commits or is squashed). The physical capacity is the maximum
 // the thread can ever hold (first level + the whole second level); the
 // *effective* capacity at any moment is imposed by the TwoLevel manager.
+//
+// The ring also maintains the state behind the incremental DoD counter:
+// a running total of live not-yet-executed entries plus a Fenwick tree
+// over physical slots, so ApproxDoD answers "how many unexecuted entries
+// are younger than this load" without walking the window. Execution and
+// squash status must therefore be recorded through MarkExecuted and
+// MarkSquashed rather than by writing the UOp fields directly.
 type Ring struct {
 	entries  []uop.UOp
 	head     int32 // slot of the oldest entry
 	count    int32
 	capacity int32
+
+	// unexec counts live entries whose "result valid" bit is still clear
+	// (neither executed nor squashed); unexecBit is a Fenwick (binary
+	// indexed) tree over physical slots holding one bit per such entry,
+	// maintained at push/execute/squash/pop.
+	unexec    int32
+	unexecBit []int32
 }
 
 // NewRing allocates a ring with the given physical capacity.
@@ -30,8 +44,9 @@ func NewRing(capacity int) *Ring {
 		panic("rob: non-positive ring capacity")
 	}
 	return &Ring{
-		entries:  make([]uop.UOp, capacity),
-		capacity: int32(capacity),
+		entries:   make([]uop.UOp, capacity),
+		capacity:  int32(capacity),
+		unexecBit: make([]int32, capacity+1),
 	}
 }
 
@@ -41,6 +56,43 @@ func (r *Ring) Len() int { return int(r.count) }
 // Cap returns the physical capacity.
 func (r *Ring) Cap() int { return int(r.capacity) }
 
+// bitAdd adds d to the Fenwick leaf for a physical slot.
+func (r *Ring) bitAdd(slot, d int32) {
+	for i := slot + 1; i <= r.capacity; i += i & -i {
+		r.unexecBit[i] += d
+	}
+}
+
+// bitPrefix sums the Fenwick leaves for physical slots [0, slot].
+func (r *Ring) bitPrefix(slot int32) int32 {
+	s := int32(0)
+	for i := slot + 1; i > 0; i -= i & -i {
+		s += r.unexecBit[i]
+	}
+	return s
+}
+
+// bitRange sums the leaves for physical slots [a, b] (a <= b).
+func (r *Ring) bitRange(a, b int32) int32 {
+	if a == 0 {
+		return r.bitPrefix(b)
+	}
+	return r.bitPrefix(b) - r.bitPrefix(a-1)
+}
+
+// counted reports whether an entry contributes to the unexecuted count.
+func counted(e *uop.UOp) bool { return !e.Executed && !e.Squashed }
+
+// wrap reduces x into [0, capacity) given x < 2*capacity — every ring
+// index expression satisfies that bound, and a compare-and-subtract is
+// measurably cheaper than the integer division a % compiles to.
+func (r *Ring) wrap(x int32) int32 {
+	if x >= r.capacity {
+		x -= r.capacity
+	}
+	return x
+}
+
 // Push appends a zeroed entry at the tail and returns (slot, pointer) for
 // the caller to fill. It panics on physical overflow — effective-capacity
 // checks belong to the caller.
@@ -48,12 +100,62 @@ func (r *Ring) Push() (int32, *uop.UOp) {
 	if r.count == r.capacity {
 		panic("rob: ring overflow")
 	}
-	slot := (r.head + r.count) % r.capacity
+	slot := r.wrap(r.head + r.count)
 	r.count++
 	e := &r.entries[slot]
 	*e = uop.UOp{}
 	e.RobSlot = slot
+	r.unexec++
+	r.bitAdd(slot, 1)
 	return slot, e
+}
+
+// MarkExecuted sets the entry's "result valid" bit. Execution status must
+// flow through here (not a direct field write) so the incremental DoD
+// counter stays in sync with the window contents.
+func (r *Ring) MarkExecuted(slot int32) {
+	e := &r.entries[slot]
+	if counted(e) {
+		r.unexec--
+		r.bitAdd(slot, -1)
+	}
+	e.Executed = true
+}
+
+// MarkSquashed flags the entry as squashed; like MarkExecuted it keeps the
+// incremental DoD counter consistent and must be used instead of writing
+// the field. The entry itself stays live until popped.
+func (r *Ring) MarkSquashed(slot int32) {
+	e := &r.entries[slot]
+	if counted(e) {
+		r.unexec--
+		r.bitAdd(slot, -1)
+	}
+	e.Squashed = true
+}
+
+// Unexecuted returns the number of live entries whose result is not yet
+// valid — the incremental total behind ApproxDoD.
+func (r *Ring) Unexecuted() int { return int(r.unexec) }
+
+// UnexecutedYounger returns how many live not-yet-executed entries are
+// strictly younger than the entry in slot, or 0 when the slot is dead.
+// The load's own status does not matter: only the entries behind it are
+// counted, exactly as the linear §4.1 walk does. Cost is O(log capacity)
+// — two Fenwick prefix sums — versus the walk's O(window).
+func (r *Ring) UnexecutedYounger(slot int32) int {
+	pos := r.PosOf(slot)
+	if pos < 0 || int32(pos)+1 >= r.count {
+		return 0
+	}
+	// Entries younger than slot occupy the circular physical range
+	// (slot+1 .. tail), split at the wrap point for prefix-sum queries.
+	a := r.wrap(slot + 1)
+	b := r.wrap(r.head + r.count - 1)
+	if a <= b {
+		return int(r.bitRange(a, b))
+	}
+	return int(r.bitRange(a, r.capacity-1) + r.bitRange(0, b))
 }
 
 // Head returns the oldest entry, or nil when empty.
@@ -69,7 +171,11 @@ func (r *Ring) PopHead() {
 	if r.count == 0 {
 		panic("rob: pop from empty ring")
 	}
-	r.head = (r.head + 1) % r.capacity
+	if e := &r.entries[r.head]; counted(e) {
+		r.unexec--
+		r.bitAdd(r.head, -1)
+	}
+	r.head = r.wrap(r.head + 1)
 	r.count--
 }
 
@@ -78,13 +184,18 @@ func (r *Ring) Tail() *uop.UOp {
 	if r.count == 0 {
 		return nil
 	}
-	return &r.entries[(r.head+r.count-1)%r.capacity]
+	return &r.entries[r.wrap(r.head+r.count-1)]
 }
 
 // PopTail removes the youngest entry (squash walk).
 func (r *Ring) PopTail() {
 	if r.count == 0 {
 		panic("rob: pop from empty ring")
+	}
+	slot := r.wrap(r.head + r.count - 1)
+	if e := &r.entries[slot]; counted(e) {
+		r.unexec--
+		r.bitAdd(slot, -1)
 	}
 	r.count--
 }
@@ -94,7 +205,7 @@ func (r *Ring) At(slot int32) *uop.UOp { return &r.entries[slot] }
 
 // SlotAt returns the slot of the i-th entry from the head (0 = oldest).
 func (r *Ring) SlotAt(i int) int32 {
-	return (r.head + int32(i)) % r.capacity
+	return r.wrap(r.head + int32(i))
 }
 
 // PosOf returns an entry's distance from the head (0 = oldest) or -1 if
@@ -103,7 +214,7 @@ func (r *Ring) PosOf(slot int32) int {
 	if r.count == 0 {
 		return -1
 	}
-	pos := (slot - r.head + r.capacity) % r.capacity
+	pos := r.wrap(slot - r.head + r.capacity)
 	if pos >= r.count {
 		return -1
 	}
@@ -123,11 +234,27 @@ func (r *Ring) CheckInvariants() error {
 	if r.head < 0 || r.head >= r.capacity {
 		return fmt.Errorf("rob: head %d out of range", r.head)
 	}
+	unexec := int32(0)
 	for i := 0; i < int(r.count); i++ {
 		slot := r.SlotAt(i)
-		if r.entries[slot].RobSlot != slot {
-			return fmt.Errorf("rob: entry %d has stale slot %d", slot, r.entries[slot].RobSlot)
+		e := &r.entries[slot]
+		if e.RobSlot != slot {
+			return fmt.Errorf("rob: entry %d has stale slot %d", slot, e.RobSlot)
 		}
+		if counted(e) {
+			unexec++
+			if got := r.bitRange(slot, slot); got != 1 {
+				return fmt.Errorf("rob: slot %d unexecuted but fenwick leaf is %d", slot, got)
+			}
+		} else if got := r.bitRange(slot, slot); got != 0 {
+			return fmt.Errorf("rob: slot %d executed/squashed but fenwick leaf is %d", slot, got)
+		}
+	}
+	if unexec != r.unexec {
+		return fmt.Errorf("rob: unexec counter %d but %d live unexecuted entries", r.unexec, unexec)
+	}
+	if total := r.bitPrefix(r.capacity - 1); total != r.unexec {
+		return fmt.Errorf("rob: fenwick total %d but unexec counter %d", total, r.unexec)
 	}
 	return nil
 }

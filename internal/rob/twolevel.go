@@ -120,14 +120,16 @@ func (c *Config) Validate() error {
 
 // Stats counts two-level manager behaviour.
 type Stats struct {
-	MissesObserved uint64 // L2-missing loads reported
-	Allocations    uint64 // second-level grants
-	Releases       uint64
-	DeniedDoD      uint64 // DoD at/above threshold
-	DeniedBusy     uint64 // conditions met but partition held elsewhere
-	ServicedMisses uint64
-	DoDSum         uint64 // sum of service-time DoD counts (for the mean)
-	OwnedCycles    uint64 // cycles the partition was held by some thread
+	MissesObserved  uint64 // L2-missing loads reported
+	Allocations     uint64 // second-level grants (first grant of a tenancy)
+	PiggybackGrants uint64 // further misses granted under an existing tenancy
+	Releases        uint64
+	DeniedDoD       uint64 // trained/counted DoD at/above threshold
+	DeniedUntrained uint64 // predictive lookup with no trained value (cold start)
+	DeniedBusy      uint64 // conditions met but partition held elsewhere
+	ServicedMisses  uint64
+	DoDSum          uint64 // sum of service-time DoD counts (for the mean)
+	OwnedCycles     uint64 // cycles the partition was held by some thread
 }
 
 // missRecord tracks one outstanding L2-missing load for scheme decisions.
@@ -139,7 +141,9 @@ type missRecord struct {
 	nextCheckAt int64
 	decided     bool // allocation decision already made (denied or granted)
 	wantAlloc   bool // decided-yes but partition was busy; retry
-	granted     bool // this miss's grant is the one holding the partition
+	granted     bool // this miss holds (a share of) the partition grant
+	predicted   bool // a trained prediction was consulted (Predictive)
+	predBelow   bool // ... and it was below the threshold
 }
 
 // TwoLevel owns the per-thread ROB rings and arbitrates the shared
@@ -153,6 +157,31 @@ type TwoLevel struct {
 	misses  [][]missRecord
 	pred    *DoDPredictor
 	stats   Stats
+
+	// ownerGrants counts the owner's granted miss records still alive.
+	// The partition is allocated as one atomic unit (§5.2): when a second
+	// miss of the owning thread piggybacks on the tenancy, the partition
+	// must be held until the *last* granted miss is serviced or squashed,
+	// not released when the first one completes.
+	ownerGrants int
+
+	// Per-cycle scan bookkeeping: Tick only walks the miss records while
+	// some record still needs an evaluation (undecided) or a grant retry
+	// (retries). Both are maintained at record insert/decide/remove, and
+	// pending[tid] holds the per-thread sum of both so Tick skips threads
+	// with nothing actionable.
+	undecided int
+	retries   int
+	pending   []int
+
+	// nextDue[tid] is a conservative lower bound on the earliest
+	// nextCheckAt among tid's undecided records: the evaluation scan is
+	// skipped until that cycle. It may run early (after removals) but
+	// never late, so evaluations happen on exactly the same cycles.
+	// globalDue is the same bound across all threads, letting Tick return
+	// before even the per-thread loop.
+	nextDue   []int64
+	globalDue int64
 }
 
 // New builds the two-level ROB state.
@@ -161,10 +190,12 @@ func New(cfg Config) (*TwoLevel, error) {
 		return nil, err
 	}
 	t := &TwoLevel{
-		cfg:    cfg,
-		owner:  -1,
-		rings:  make([]*Ring, cfg.Threads),
-		misses: make([][]missRecord, cfg.Threads),
+		cfg:     cfg,
+		owner:   -1,
+		rings:   make([]*Ring, cfg.Threads),
+		misses:  make([][]missRecord, cfg.Threads),
+		pending: make([]int, cfg.Threads),
+		nextDue: make([]int64, cfg.Threads),
 	}
 	phys := cfg.L1Size + cfg.L2Size
 	if cfg.Scheme == SharedSingle {
@@ -248,14 +279,69 @@ func (t *TwoLevel) MissDetected(tid int, slot int32, pc, hist uint64, now int64)
 	if t.cfg.Scheme == Predictive {
 		dod, trained := t.pred.Predict(pc, hist)
 		rec.decided = true
-		if trained && dod < t.cfg.DoDThreshold {
+		switch {
+		case !trained:
+			// Cold start: the table has no value for this load yet, so no
+			// prediction was made — this is not an above-threshold denial.
+			t.stats.DeniedUntrained++
+		case dod < t.cfg.DoDThreshold:
+			rec.predicted = true
+			rec.predBelow = true
 			rec.wantAlloc = true
 			t.tryAllocate(tid, &rec)
-		} else {
+		default:
+			rec.predicted = true
 			t.stats.DeniedDoD++
 		}
 	}
 	t.misses[tid] = append(t.misses[tid], rec)
+	if !rec.decided {
+		t.undecided++
+		t.pending[tid]++
+		if rec.nextCheckAt < t.nextDue[tid] {
+			t.nextDue[tid] = rec.nextCheckAt
+		}
+		if rec.nextCheckAt < t.globalDue {
+			t.globalDue = rec.nextCheckAt
+		}
+	}
+	if rec.wantAlloc {
+		t.retries++
+		t.pending[tid]++
+	}
+}
+
+// removeMissAt deletes record i of tid's tracked misses, preserving order
+// (arbitration fairness depends on record age) without allocating, and
+// returns the removed record.
+func (t *TwoLevel) removeMissAt(tid, i int) missRecord {
+	recs := t.misses[tid]
+	rec := recs[i]
+	copy(recs[i:], recs[i+1:])
+	t.misses[tid] = recs[:len(recs)-1]
+	if !rec.decided {
+		t.undecided--
+		t.pending[tid]--
+	}
+	if rec.wantAlloc {
+		t.retries--
+		t.pending[tid]--
+	}
+	return rec
+}
+
+// grantDone retires one granted miss of tid; the partition is released
+// only when the owner's last granted miss is gone (§5.2's atomic unit).
+func (t *TwoLevel) grantDone(tid int) {
+	if t.owner != tid {
+		return
+	}
+	t.ownerGrants--
+	if t.ownerGrants <= 0 {
+		t.ownerGrants = 0
+		t.owner = -1
+		t.stats.Releases++
+	}
 }
 
 // MissServiced informs the manager that the load in (tid, slot) has its
@@ -268,26 +354,24 @@ func (t *TwoLevel) MissServiced(tid int, slot int32, now int64) (dod int, ok boo
 		if recs[i].slot != slot {
 			continue
 		}
-		rec := recs[i]
-		t.misses[tid] = append(recs[:i], recs[i+1:]...)
-		if rec.granted && t.owner == tid {
-			// The shadow this grant was covering is over; relinquish so
-			// the partition rotates across missing threads. A further
-			// outstanding miss of this thread re-competes through the
-			// normal conditions.
-			t.owner = -1
-			t.stats.Releases++
+		rec := t.removeMissAt(tid, i)
+		if rec.granted {
+			// The shadow this grant was covering is over. The partition is
+			// relinquished once the owner's last granted miss retires, so
+			// it rotates across missing threads without cutting short a
+			// piggybacked grant's still-live shadow.
+			t.grantDone(tid)
 		}
 		dod = ApproxDoD(t.rings[tid], slot)
 		t.stats.ServicedMisses++
 		t.stats.DoDSum += uint64(dod)
 		if t.cfg.Scheme == Predictive {
 			// Verification + retraining (§4.2): the actual count is always
-			// taken and stored for the next dynamic instance.
-			if rec.decided {
-				predictedBelow := rec.wantAlloc
+			// taken and stored for the next dynamic instance. Only trained
+			// lookups are verified — a cold-start miss made no prediction.
+			if rec.predicted {
 				actualBelow := dod < t.cfg.DoDThreshold
-				t.pred.Verify(predictedBelow == actualBelow)
+				t.pred.Verify(rec.predBelow == actualBelow)
 			}
 			t.pred.Train(rec.pc, rec.hist, dod)
 		}
@@ -301,19 +385,16 @@ func (t *TwoLevel) MissServiced(tid int, slot int32, now int64) (dod int, ok boo
 // every squashed entry during a branch-misprediction walk. Squashing the
 // granting miss releases the partition.
 func (t *TwoLevel) EntrySquashed(tid int, slot int32) {
-	recs := t.misses[tid]
-	for i := 0; i < len(recs); {
-		if recs[i].slot == slot {
-			if recs[i].granted && t.owner == tid {
-				t.owner = -1
-				t.stats.Releases++
-			}
-			recs = append(recs[:i], recs[i+1:]...)
+	for i := 0; i < len(t.misses[tid]); {
+		if t.misses[tid][i].slot != slot {
+			i++
 			continue
 		}
-		i++
+		rec := t.removeMissAt(tid, i)
+		if rec.granted {
+			t.grantDone(tid)
+		}
 	}
-	t.misses[tid] = recs
 }
 
 // Tick runs the per-cycle scheme evaluation: reactive condition checks,
@@ -326,24 +407,68 @@ func (t *TwoLevel) Tick(now int64) {
 		return
 	}
 	t.tickRot++
+	if t.undecided == 0 && t.retries == 0 {
+		// Nothing needs evaluation or a grant retry; skip the record scan
+		// (the common steady state on execution-bound phases).
+		t.maybeRelease()
+		return
+	}
 	n := len(t.misses)
+	retryable := t.owner == -1 && t.retries > 0
+	if !retryable && now < t.globalDue {
+		// Every undecided record's next check lies in the future and no
+		// grant retry can proceed; the whole scan would be a no-op.
+		t.maybeRelease()
+		return
+	}
+	tid := t.tickRot % n
 	for i := 0; i < n; i++ {
-		tid := (i + t.tickRot) % n
+		if i > 0 {
+			tid++
+			if tid == n {
+				tid = 0
+			}
+		}
+		if t.pending[tid] == 0 {
+			continue
+		}
+		if !retryable && now < t.nextDue[tid] {
+			continue
+		}
 		recs := t.misses[tid]
-		for i := range recs {
-			rec := &recs[i]
+		due := int64(1) << 62
+		for j := range recs {
+			rec := &recs[j]
 			if rec.decided {
 				if rec.wantAlloc && t.owner == -1 {
 					t.tryAllocate(tid, rec)
+					if !rec.wantAlloc {
+						t.retries--
+						t.pending[tid]--
+					}
 				}
 				continue
 			}
 			if now < rec.nextCheckAt {
+				if rec.nextCheckAt < due {
+					due = rec.nextCheckAt
+				}
 				continue
 			}
 			t.evaluate(tid, rec, now)
+			if !rec.decided && rec.nextCheckAt < due {
+				due = rec.nextCheckAt
+			}
+		}
+		t.nextDue[tid] = due
+	}
+	gd := int64(1) << 62
+	for j := range t.nextDue {
+		if t.pending[j] > 0 && t.nextDue[j] < gd {
+			gd = t.nextDue[j]
 		}
 	}
+	t.globalDue = gd
 	t.maybeRelease()
 }
 
@@ -366,18 +491,29 @@ func (t *TwoLevel) evaluate(tid int, rec *missRecord, now int64) {
 	}
 	dod := ApproxDoD(ring, rec.slot)
 	rec.decided = true
+	t.undecided--
+	t.pending[tid]--
 	if dod >= t.cfg.DoDThreshold {
 		t.stats.DeniedDoD++
 		return
 	}
 	rec.wantAlloc = true
 	t.tryAllocate(tid, rec)
+	if rec.wantAlloc {
+		t.retries++
+		t.pending[tid]++
+	}
 }
 
 func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
 	if t.owner == tid {
+		// A further qualifying miss of the owning thread shares the
+		// existing tenancy; the partition is then held until the last
+		// granted miss retires (see grantDone).
 		rec.wantAlloc = false
 		rec.granted = true
+		t.ownerGrants++
+		t.stats.PiggybackGrants++
 		return
 	}
 	if t.owner != -1 {
@@ -385,6 +521,7 @@ func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
 		return
 	}
 	t.owner = tid
+	t.ownerGrants = 1
 	t.stats.Allocations++
 	rec.wantAlloc = false
 	rec.granted = true
@@ -392,14 +529,62 @@ func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
 
 // maybeRelease is a backstop: if the holder somehow has no tracked misses
 // left (e.g. all squashed), relinquish. The normal release happens when
-// the granting miss is serviced.
+// the owner's last granted miss is serviced or squashed (grantDone).
 func (t *TwoLevel) maybeRelease() {
 	if t.owner < 0 || len(t.misses[t.owner]) > 0 {
 		return
 	}
 	t.owner = -1
+	t.ownerGrants = 0
 	t.stats.Releases++
 }
 
 // OutstandingMisses returns how many L2-missing loads are tracked for tid.
 func (t *TwoLevel) OutstandingMisses(tid int) int { return len(t.misses[tid]) }
+
+// CheckInvariants recounts the incremental record bookkeeping (tests only).
+func (t *TwoLevel) CheckInvariants() error {
+	undecided, retries, granted := 0, 0, 0
+	for tid := range t.misses {
+		perThread := 0
+		for i := range t.misses[tid] {
+			rec := &t.misses[tid][i]
+			if !rec.decided {
+				undecided++
+				perThread++
+			}
+			if rec.wantAlloc {
+				retries++
+				perThread++
+			}
+			if rec.granted {
+				if t.owner != tid {
+					return fmt.Errorf("rob: thread %d holds a grant but owner is %d", tid, t.owner)
+				}
+				granted++
+			}
+		}
+		if perThread != t.pending[tid] {
+			return fmt.Errorf("rob: pending[%d]=%d but %d actionable records", tid, t.pending[tid], perThread)
+		}
+		for i := range t.misses[tid] {
+			rec := &t.misses[tid][i]
+			if !rec.decided && rec.nextCheckAt < t.nextDue[tid] {
+				return fmt.Errorf("rob: nextDue[%d]=%d misses record due at %d", tid, t.nextDue[tid], rec.nextCheckAt)
+			}
+		}
+	}
+	if undecided != t.undecided {
+		return fmt.Errorf("rob: undecided counter %d but %d undecided records", t.undecided, undecided)
+	}
+	if retries != t.retries {
+		return fmt.Errorf("rob: retries counter %d but %d pending records", t.retries, retries)
+	}
+	if t.owner >= 0 && granted != t.ownerGrants {
+		return fmt.Errorf("rob: ownerGrants %d but %d granted records", t.ownerGrants, granted)
+	}
+	if t.owner < 0 && t.ownerGrants != 0 {
+		return fmt.Errorf("rob: no owner but ownerGrants %d", t.ownerGrants)
+	}
+	return nil
+}
