@@ -1,18 +1,24 @@
 // Command experiments regenerates the paper's evaluation: every figure
 // (1–7) and the two configuration tables. By default it runs everything;
-// individual artifacts can be selected with flags.
+// individual artifacts can be selected with flags. Ctrl-C cancels the
+// sweep (in-flight runs finish, the rest are abandoned).
 //
 //	experiments -budget 200000            # full evaluation
 //	experiments -fig2 -budget 100000      # just the headline comparison
+//	experiments -fig2 -json               # machine-readable output
 //	experiments -table2 -list-config      # configuration summaries only
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
@@ -20,6 +26,7 @@ func main() {
 		budget  = flag.Uint64("budget", 200_000, "instructions per thread per run")
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
+		asJSON  = flag.Bool("json", false, "emit the shared machine-readable schema (internal/report) instead of tables")
 
 		listCfg = flag.Bool("list-config", false, "print the Table-1 machine configuration")
 		table2  = flag.Bool("table2", false, "print the Table-2 mixes")
@@ -34,53 +41,65 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	all := !(*listCfg || *table2 || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *sweeps)
 
 	out := os.Stdout
-	if *listCfg || all {
-		experiments.WriteTable1(out)
-		fmt.Fprintln(out)
-	}
-	if *table2 || all {
-		experiments.WriteTable2(out)
-		fmt.Fprintln(out)
+	doc := report.NewDocument(*budget, *seed)
+	if !*asJSON {
+		if *listCfg || all {
+			experiments.WriteTable1(out)
+			fmt.Fprintln(out)
+		}
+		if *table2 || all {
+			experiments.WriteTable2(out)
+			fmt.Fprintln(out)
+		}
 	}
 
 	r := experiments.NewRunner(experiments.Params{Budget: *budget, Seed: *seed, Workers: *workers})
 
 	runFT := func(title string, specs ...experiments.SchemeSpec) []experiments.SchemeSeries {
-		series, err := r.FTComparison(specs...)
+		series, err := r.FTComparison(ctx, specs...)
 		fatal(err)
-		experiments.WriteFTTable(out, title, series)
-		fmt.Fprintln(out)
+		if *asJSON {
+			doc.AddFigure(title, series, false)
+		} else {
+			experiments.WriteFTTable(out, title, series)
+			fmt.Fprintln(out)
+		}
 		return series
+	}
+	runHist := func(title string, spec experiments.SchemeSpec) []experiments.MixRow {
+		s, err := r.RunScheme(ctx, spec)
+		fatal(err)
+		if *asJSON {
+			doc.AddFigure(title, []experiments.SchemeSeries{s}, true)
+		} else {
+			experiments.WriteDoDHistogram(out, title, s.Rows)
+		}
+		return s.Rows
 	}
 
 	var base []experiments.SchemeSeries
 	if *fig1 || all {
-		rows, err := r.DoDHistogram(experiments.Baseline32())
-		fatal(err)
-		experiments.WriteDoDHistogram(out, experiments.Fig1, rows)
-		fmt.Fprintln(out)
+		runHist(experiments.Fig1, experiments.Baseline32())
+		if !*asJSON {
+			fmt.Fprintln(out)
+		}
 	}
 	if *fig2 || all {
 		base = runFT(experiments.Fig2,
 			experiments.Baseline32(), experiments.Baseline128(), experiments.RROB(16))
 	}
 	if *fig3 || all {
-		rows, err := r.DoDHistogram(experiments.RROB(16))
-		fatal(err)
-		experiments.WriteDoDHistogram(out, experiments.Fig3, rows)
-		if len(base) == 3 {
-			var mean float64
-			for _, row := range rows {
-				mean += row.DoDMean
-			}
-			mean /= float64(len(rows))
-			fmt.Fprintf(out, "dependent growth vs Baseline_32: %+.1f%% (paper: +56%%)\n",
-				100*(mean/base[0].AvgDoD-1))
+		rows := runHist(experiments.Fig3, experiments.RROB(16))
+		if !*asJSON {
+			writeGrowth(out, rows, base, "+56%")
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(out)
 	}
 	if *fig4 || all {
 		runFT(experiments.Fig4,
@@ -95,34 +114,48 @@ func main() {
 			experiments.Baseline32(), experiments.PROB(3), experiments.PROB(5))
 	}
 	if *fig7 || all {
-		rows, err := r.DoDHistogram(experiments.PROB(5))
-		fatal(err)
-		experiments.WriteDoDHistogram(out, experiments.Fig7, rows)
-		if len(base) == 3 {
-			var mean float64
-			for _, row := range rows {
-				mean += row.DoDMean
-			}
-			mean /= float64(len(rows))
-			fmt.Fprintf(out, "dependent growth vs Baseline_32: %+.1f%% (paper: +120%%)\n",
-				100*(mean/base[0].AvgDoD-1))
+		rows := runHist(experiments.Fig7, experiments.PROB(5))
+		if !*asJSON {
+			writeGrowth(out, rows, base, "+120%")
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(out)
 	}
 	if *sweeps {
-		pts, err := r.SweepDoDThreshold([]int{1, 2, 4, 8, 16, 24, 31})
-		fatal(err)
-		experiments.WriteSweep(out, "Sweep: reactive DoD threshold (paper best: 16)", pts)
-		pts, err = r.SweepPredictiveThreshold([]int{1, 3, 5, 8, 16})
-		fatal(err)
-		experiments.WriteSweep(out, "Sweep: predictive DoD threshold (paper best: 3-5)", pts)
-		pts, err = r.SweepSecondLevelSize([]int{96, 192, 384, 768})
-		fatal(err)
-		experiments.WriteSweep(out, "Sweep: second-level ROB size (paper: 384)", pts)
-		pts, err = r.SweepCountDelay([]int{8, 16, 32, 64})
-		fatal(err)
-		experiments.WriteSweep(out, "Sweep: CDR snapshot delay (paper: 32)", pts)
+		runSweep := func(title string, pts []experiments.SweepPoint, err error) {
+			fatal(err)
+			if *asJSON {
+				doc.AddSweep(title, pts)
+			} else {
+				experiments.WriteSweep(out, title, pts)
+			}
+		}
+		pts, err := r.SweepDoDThreshold(ctx, []int{1, 2, 4, 8, 16, 24, 31})
+		runSweep("Sweep: reactive DoD threshold (paper best: 16)", pts, err)
+		pts, err = r.SweepPredictiveThreshold(ctx, []int{1, 3, 5, 8, 16})
+		runSweep("Sweep: predictive DoD threshold (paper best: 3-5)", pts, err)
+		pts, err = r.SweepSecondLevelSize(ctx, []int{96, 192, 384, 768})
+		runSweep("Sweep: second-level ROB size (paper: 384)", pts, err)
+		pts, err = r.SweepCountDelay(ctx, []int{8, 16, 32, 64})
+		runSweep("Sweep: CDR snapshot delay (paper: 32)", pts, err)
 	}
+	if *asJSON {
+		fatal(doc.WriteJSON(out))
+	}
+}
+
+// writeGrowth prints the dependent-growth line under Figures 3 and 7 when
+// the Figure-2 baseline is available for comparison.
+func writeGrowth(out *os.File, rows []experiments.MixRow, base []experiments.SchemeSeries, paper string) {
+	if len(base) != 3 {
+		return
+	}
+	var mean float64
+	for _, row := range rows {
+		mean += row.DoDMean
+	}
+	mean /= float64(len(rows))
+	fmt.Fprintf(out, "dependent growth vs Baseline_32: %+.1f%% (paper: %s)\n",
+		100*(mean/base[0].AvgDoD-1), paper)
 }
 
 func fatal(err error) {

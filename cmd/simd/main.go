@@ -1,0 +1,105 @@
+// Command simd is the simulation-as-a-service daemon: an HTTP front end
+// over internal/server's job queue, worker pool and content-addressed
+// result cache. Runs are deterministic (fixed seed + config → identical
+// metrics), so identical requests are served from the cache or coalesced
+// onto one in-flight simulation.
+//
+//	simd -addr :8080 -cache-dir results/cache
+//
+//	# submit and wait
+//	curl -s -X POST 'localhost:8080/v1/runs?wait=1' \
+//	     -d '{"scheme":"rrob","mixes":["Mix 1"],"budget":50000}'
+//
+// SIGINT/SIGTERM drains gracefully: submissions get 503, queued and
+// running jobs finish (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		cacheDir     = flag.String("cache-dir", "results/cache", "on-disk result cache root")
+		cacheMem     = flag.Int64("cache-mem", 64<<20, "in-memory cache byte budget")
+		queueSize    = flag.Int("queue", 64, "job queue capacity (full = HTTP 429)")
+		workers      = flag.Int("workers", 2, "concurrent jobs")
+		simWorkers   = flag.Int("sim-workers", 0, "goroutines per job's sweep (0 = all cores)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline")
+		retries      = flag.Int("retries", 2, "retry budget for transient failures")
+		maxBudget    = flag.Uint64("max-budget", 5_000_000, "largest accepted per-thread instruction budget")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain limit on shutdown")
+	)
+	flag.Parse()
+	log.SetPrefix("simd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	st, err := store.New(*cacheDir, *cacheMem)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Store:      st,
+		QueueSize:  *queueSize,
+		Workers:    *workers,
+		SimWorkers: *simWorkers,
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
+		MaxBudget:  *maxBudget,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (cache %s, queue %d, %d workers)",
+			*addr, *cacheDir, *queueSize, *workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		fatal(err)
+	}
+	stop()
+
+	log.Printf("draining (limit %s)...", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete, in-flight jobs cancelled: %v", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simd:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -106,11 +107,28 @@ type SchemeSeries struct {
 	Speedup float64 // vs the baseline series, filled by FTComparison
 }
 
+// Progress reports one completed unit of a sweep. Stage is "single" while
+// the single-threaded reference IPCs are computed and "mix" for the
+// multithreaded runs; Index is the unit's slot (0-based) and Total the
+// number of units in the stage. FairThroughput is filled for mix units.
+type Progress struct {
+	Scheme         string
+	Stage          string // "single" | "mix"
+	Item           string // benchmark or mix name
+	Index          int
+	Total          int
+	FairThroughput float64
+}
+
 // Runner executes experiment sweeps with shared single-IPC references.
 type Runner struct {
 	params  Params
 	mu      sync.Mutex
 	singles map[string]float64
+
+	// OnProgress, if non-nil, is invoked from worker goroutines as each
+	// unit of a sweep completes. It must be safe for concurrent use.
+	OnProgress func(Progress)
 }
 
 // NewRunner builds a runner.
@@ -118,15 +136,27 @@ func NewRunner(p Params) *Runner {
 	return &Runner{params: p, singles: make(map[string]float64)}
 }
 
+func (r *Runner) progress(p Progress) {
+	if r.OnProgress != nil {
+		r.OnProgress(p)
+	}
+}
+
 // SingleIPCs returns (computing on first use) the single-threaded
 // reference IPC of every benchmark used by the Table-2 mixes.
-func (r *Runner) SingleIPCs() (map[string]float64, error) {
+func (r *Runner) SingleIPCs(ctx context.Context) (map[string]float64, error) {
 	names := map[string]bool{}
 	for _, m := range workload.Mixes {
 		for _, b := range m.Benchmarks {
 			names[b] = true
 		}
 	}
+	return r.singleIPCsFor(ctx, "", names)
+}
+
+// singleIPCsFor computes (memoizing across calls) the reference IPCs of
+// the given benchmark set. scheme labels progress events only.
+func (r *Runner) singleIPCsFor(ctx context.Context, scheme string, names map[string]bool) (map[string]float64, error) {
 	var todo []string
 	r.mu.Lock()
 	for b := range names {
@@ -140,7 +170,7 @@ func (r *Runner) SingleIPCs() (map[string]float64, error) {
 		return r.copySingles(), nil
 	}
 	opt := tlrob.Options{Budget: r.params.Budget, Seed: r.params.Seed}
-	err := r.parallel(len(todo), func(i int) error {
+	err := r.parallel(ctx, len(todo), func(i int) error {
 		res, err := tlrob.RunSingle(todo[i], opt)
 		if err != nil {
 			return err
@@ -148,6 +178,7 @@ func (r *Runner) SingleIPCs() (map[string]float64, error) {
 		r.mu.Lock()
 		r.singles[todo[i]] = res.IPC
 		r.mu.Unlock()
+		r.progress(Progress{Scheme: scheme, Stage: "single", Item: todo[i], Index: i, Total: len(todo)})
 		return nil
 	})
 	if err != nil {
@@ -169,8 +200,10 @@ func (r *Runner) copySingles() map[string]float64 {
 // parallel runs fn(0..n-1) across the worker pool. Every error is
 // collected and returned joined (a failing sweep reports all broken
 // configurations, not an arbitrary first one), and no new jobs are
-// dispatched once a failure is observed — already-running jobs finish.
-func (r *Runner) parallel(n int, fn func(i int) error) error {
+// dispatched once a failure is observed or ctx is cancelled —
+// already-running jobs finish, queued ones are dropped. A cancelled
+// context surfaces as ctx.Err() joined ahead of any job errors.
+func (r *Runner) parallel(ctx context.Context, n int, fn func(i int) error) error {
 	workers := r.params.workers()
 	if workers > n {
 		workers = n
@@ -187,6 +220,9 @@ func (r *Runner) parallel(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
 				if err := fn(i); err != nil {
 					mu.Lock()
 					errs = append(errs, err)
@@ -196,26 +232,50 @@ func (r *Runner) parallel(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n && !failed.Load(); i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append([]error{err}, errs...)
+	}
 	return errors.Join(errs...)
 }
 
 // RunScheme evaluates one scheme over all Table-2 mixes.
-func (r *Runner) RunScheme(spec SchemeSpec) (SchemeSeries, error) {
-	singles, err := r.SingleIPCs()
+func (r *Runner) RunScheme(ctx context.Context, spec SchemeSpec) (SchemeSeries, error) {
+	return r.RunMixes(ctx, spec, workload.Mixes)
+}
+
+// RunMixes evaluates one scheme over the given mixes. Cancelling ctx
+// stops dispatching further runs (in-flight single runs finish, the
+// rest are abandoned) and returns the context error.
+func (r *Runner) RunMixes(ctx context.Context, spec SchemeSpec, mixes []workload.Mix) (SchemeSeries, error) {
+	if len(mixes) == 0 {
+		return SchemeSeries{}, fmt.Errorf("experiments: no mixes given")
+	}
+	names := map[string]bool{}
+	for _, m := range mixes {
+		for _, b := range m.Benchmarks {
+			names[b] = true
+		}
+	}
+	singles, err := r.singleIPCsFor(ctx, spec.Label, names)
 	if err != nil {
 		return SchemeSeries{}, err
 	}
-	series := SchemeSeries{Label: spec.Label, Rows: make([]MixRow, len(workload.Mixes))}
+	series := SchemeSeries{Label: spec.Label, Rows: make([]MixRow, len(mixes))}
 	opt := spec.Opt
 	opt.Budget = r.params.Budget
 	opt.Seed = r.params.Seed
-	err = r.parallel(len(workload.Mixes), func(i int) error {
-		mix := workload.Mixes[i]
+	err = r.parallel(ctx, len(mixes), func(i int) error {
+		mix := mixes[i]
 		res, err := tlrob.RunMix(mix, opt, singles)
 		if err != nil {
 			return err
@@ -227,6 +287,10 @@ func (r *Runner) RunScheme(spec SchemeSpec) (SchemeSeries, error) {
 			DoDMean:        res.DoDMean,
 			Result:         res,
 		}
+		r.progress(Progress{
+			Scheme: spec.Label, Stage: "mix", Item: mix.Name,
+			Index: i, Total: len(mixes), FairThroughput: res.FairThroughput,
+		})
 		return nil
 	})
 	if err != nil {
@@ -246,10 +310,10 @@ func (r *Runner) RunScheme(spec SchemeSpec) (SchemeSeries, error) {
 
 // FTComparison runs the baseline plus the given schemes and fills each
 // scheme's Speedup versus the first series (the Figure-2/4/5/6 layout).
-func (r *Runner) FTComparison(specs ...SchemeSpec) ([]SchemeSeries, error) {
+func (r *Runner) FTComparison(ctx context.Context, specs ...SchemeSpec) ([]SchemeSeries, error) {
 	out := make([]SchemeSeries, len(specs))
 	for i, spec := range specs {
-		s, err := r.RunScheme(spec)
+		s, err := r.RunScheme(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -263,8 +327,8 @@ func (r *Runner) FTComparison(specs ...SchemeSpec) ([]SchemeSeries, error) {
 
 // DoDHistogram runs one scheme over all mixes and returns the per-mix
 // dependent-count histograms (Figures 1, 3, 7).
-func (r *Runner) DoDHistogram(spec SchemeSpec) ([]MixRow, error) {
-	s, err := r.RunScheme(spec)
+func (r *Runner) DoDHistogram(ctx context.Context, spec SchemeSpec) ([]MixRow, error) {
+	s, err := r.RunScheme(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

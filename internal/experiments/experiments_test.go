@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/workload"
 )
 
 func tinyRunner() *Runner {
@@ -11,14 +16,14 @@ func tinyRunner() *Runner {
 
 func TestSingleIPCsCached(t *testing.T) {
 	r := tinyRunner()
-	a, err := r.SingleIPCs()
+	a, err := r.SingleIPCs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a) < 15 {
 		t.Fatalf("%d single IPCs", len(a))
 	}
-	b, err := r.SingleIPCs()
+	b, err := r.SingleIPCs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +36,7 @@ func TestSingleIPCsCached(t *testing.T) {
 
 func TestRunSchemeShape(t *testing.T) {
 	r := tinyRunner()
-	s, err := r.RunScheme(Baseline32())
+	s, err := r.RunScheme(context.Background(), Baseline32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +55,7 @@ func TestRunSchemeShape(t *testing.T) {
 
 func TestFTComparisonSpeedups(t *testing.T) {
 	r := tinyRunner()
-	series, err := r.FTComparison(Baseline32(), RROB(16))
+	series, err := r.FTComparison(context.Background(), Baseline32(), RROB(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +69,7 @@ func TestFTComparisonSpeedups(t *testing.T) {
 
 func TestReportRendering(t *testing.T) {
 	r := tinyRunner()
-	series, err := r.FTComparison(Baseline32(), RROB(16))
+	series, err := r.FTComparison(context.Background(), Baseline32(), RROB(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +82,7 @@ func TestReportRendering(t *testing.T) {
 		}
 	}
 
-	rows, err := r.DoDHistogram(Baseline32())
+	rows, err := r.DoDHistogram(context.Background(), Baseline32())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +122,7 @@ func TestSchemeSpecLabels(t *testing.T) {
 
 func TestSweeps(t *testing.T) {
 	r := tinyRunner()
-	pts, err := r.SweepDoDThreshold([]int{4, 16})
+	pts, err := r.SweepDoDThreshold(context.Background(), []int{4, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,5 +146,58 @@ func TestDoDGrowth(t *testing.T) {
 	b := SchemeSeries{AvgDoD: 15.6}
 	if g := DoDGrowth(a, b); g < 0.55 || g > 0.57 {
 		t.Fatalf("growth = %v", g)
+	}
+}
+
+// TestRunSchemeCancellation verifies the satellite requirement that a
+// caller can abort a sweep: once ctx is cancelled, no further mixes are
+// dispatched, the call returns the context error, and the workers are
+// freed well before all 11 mixes have run.
+func TestRunSchemeCancellation(t *testing.T) {
+	r := NewRunner(Params{Budget: 20_000, Seed: 1, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var mixesDone atomic.Int32
+	r.OnProgress = func(p Progress) {
+		if p.Stage == "mix" {
+			if mixesDone.Add(1) == 1 {
+				cancel() // cancel as soon as the first mix completes
+			}
+		}
+	}
+	_, err := r.RunScheme(ctx, Baseline32())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := mixesDone.Load(); n >= 11 {
+		t.Fatalf("sweep ran to completion (%d mixes) despite cancellation", n)
+	}
+}
+
+func TestRunSchemePreCancelled(t *testing.T) {
+	r := tinyRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunScheme(ctx, Baseline32()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunMixesSubset verifies subset runs only evaluate (and only report)
+// the requested mixes.
+func TestRunMixesSubset(t *testing.T) {
+	r := tinyRunner()
+	mix, ok := workload.MixByName("Mix 1")
+	if !ok {
+		t.Fatal("Mix 1 missing")
+	}
+	s, err := r.RunMixes(context.Background(), Baseline32(), []workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 1 || s.Rows[0].Mix != "Mix 1" {
+		t.Fatalf("rows: %+v", s.Rows)
+	}
+	if s.AvgFT != s.Rows[0].FairThroughput {
+		t.Fatalf("avg %v != row %v", s.AvgFT, s.Rows[0].FairThroughput)
 	}
 }

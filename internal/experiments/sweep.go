@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,11 +18,11 @@ type SweepPoint struct {
 
 // sweep evaluates a family of configurations produced by mk over the full
 // mix suite.
-func (r *Runner) sweep(values []int, mk func(v int) SchemeSpec) ([]SweepPoint, error) {
+func (r *Runner) sweep(ctx context.Context, values []int, mk func(v int) SchemeSpec) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(values))
 	for i, v := range values {
 		spec := mk(v)
-		s, err := r.RunScheme(spec)
+		s, err := r.RunScheme(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -32,19 +33,19 @@ func (r *Runner) sweep(values []int, mk func(v int) SchemeSpec) ([]SweepPoint, e
 
 // SweepDoDThreshold sweeps the reactive DoD threshold (§5.2: too-large
 // thresholds permit issue-queue clog; the paper's best is 16).
-func (r *Runner) SweepDoDThreshold(values []int) ([]SweepPoint, error) {
-	return r.sweep(values, func(v int) SchemeSpec { return RROB(v) })
+func (r *Runner) SweepDoDThreshold(ctx context.Context, values []int) ([]SweepPoint, error) {
+	return r.sweep(ctx, values, func(v int) SchemeSpec { return RROB(v) })
 }
 
 // SweepPredictiveThreshold sweeps the predictive threshold (§5.3: the
 // paper's best is 3–5).
-func (r *Runner) SweepPredictiveThreshold(values []int) ([]SweepPoint, error) {
-	return r.sweep(values, func(v int) SchemeSpec { return PROB(v) })
+func (r *Runner) SweepPredictiveThreshold(ctx context.Context, values []int) ([]SweepPoint, error) {
+	return r.sweep(ctx, values, func(v int) SchemeSpec { return PROB(v) })
 }
 
 // SweepSecondLevelSize sweeps the shared second-level capacity.
-func (r *Runner) SweepSecondLevelSize(values []int) ([]SweepPoint, error) {
-	return r.sweep(values, func(v int) SchemeSpec {
+func (r *Runner) SweepSecondLevelSize(ctx context.Context, values []int) ([]SweepPoint, error) {
+	return r.sweep(ctx, values, func(v int) SchemeSpec {
 		return SchemeSpec{
 			Label: fmt.Sprintf("L2ROB=%d", v),
 			Opt:   tlrob.Options{Scheme: tlrob.Reactive, DoDThreshold: 16, L2ROB: v},
@@ -54,8 +55,8 @@ func (r *Runner) SweepSecondLevelSize(values []int) ([]SweepPoint, error) {
 
 // SweepCountDelay sweeps the CDR snapshot delay (§4.1's accuracy vs
 // exploitation-window trade-off).
-func (r *Runner) SweepCountDelay(values []int) ([]SweepPoint, error) {
-	return r.sweep(values, func(v int) SchemeSpec {
+func (r *Runner) SweepCountDelay(ctx context.Context, values []int) ([]SweepPoint, error) {
+	return r.sweep(ctx, values, func(v int) SchemeSpec {
 		return SchemeSpec{
 			Label: fmt.Sprintf("CDR delay=%d", v),
 			Opt:   tlrob.Options{Scheme: tlrob.CountDelayed, DoDThreshold: 15, CountDelay: v},

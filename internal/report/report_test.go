@@ -1,0 +1,89 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+)
+
+func sampleSeries() experiments.SchemeSeries {
+	h := metrics.NewHistogram(32)
+	h.Add(3)
+	h.Add(5)
+	return experiments.SchemeSeries{
+		Label:  "2-Level R-ROB16",
+		AvgFT:  1.25,
+		AvgDoD: 12.5,
+		AvgIPC: 2.0,
+		Rows: []experiments.MixRow{{
+			Mix:            "Mix 1",
+			FairThroughput: 1.25,
+			Throughput:     2.0,
+			DoDMean:        12.5,
+			Result: tlrob.MixResult{
+				Cycles: 1000,
+				Threads: []tlrob.ThreadResult{
+					{Benchmark: "ammp", Committed: 500, IPC: 0.5, WeightedIPC: 0.9},
+				},
+				Raw: pipeline.Result{DoDHist: h},
+			},
+		}},
+	}
+}
+
+func TestFromSeriesCarriesEverything(t *testing.T) {
+	s := FromSeries(sampleSeries(), true)
+	if s.Label != "2-Level R-ROB16" || s.AvgFT != 1.25 {
+		t.Fatalf("series: %+v", s)
+	}
+	row := s.Rows[0]
+	if row.Mix != "Mix 1" || row.Cycles != 1000 {
+		t.Fatalf("row: %+v", row)
+	}
+	if len(row.Threads) != 1 || row.Threads[0].Benchmark != "ammp" {
+		t.Fatalf("threads: %+v", row.Threads)
+	}
+	if len(row.DoDHist) != 32 || row.DoDHist[3] != 1 || row.DoDHist[5] != 1 {
+		t.Fatalf("hist: %v", row.DoDHist)
+	}
+	if withoutHist := FromSeries(sampleSeries(), false); withoutHist.Rows[0].DoDHist != nil {
+		t.Fatal("hist emitted without withHist")
+	}
+}
+
+// TestSchemaFieldNames pins the wire schema shared with the simd
+// service: renaming a JSON field is a breaking API change and must be
+// deliberate.
+func TestSchemaFieldNames(t *testing.T) {
+	doc := NewDocument(200_000, 1)
+	doc.AddFigure("Fig", []experiments.SchemeSeries{sampleSeries()}, true)
+	doc.AddSweep("Sweep", []experiments.SweepPoint{{Label: "L2ROB=384", Value: 384, AvgFT: 1.1, AvgDoD: 9}})
+	var sb strings.Builder
+	if err := doc.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, field := range []string{
+		`"budget"`, `"seed"`, `"go_version"`, `"figures"`, `"sweeps"`,
+		`"title"`, `"series"`, `"label"`, `"avg_fair_throughput"`, `"avg_dod"`,
+		`"avg_ipc"`, `"speedup"`, `"rows"`, `"mix"`, `"fair_throughput"`,
+		`"throughput"`, `"dod_mean"`, `"cycles"`, `"threads"`, `"benchmark"`,
+		`"committed"`, `"ipc"`, `"weighted_ipc"`, `"dod_hist"`, `"points"`, `"value"`,
+	} {
+		if !strings.Contains(out, field) {
+			t.Errorf("schema missing %s", field)
+		}
+	}
+	var back Document
+	if err := json.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Figures[0].Series[0].Rows[0].FairThroughput != 1.25 {
+		t.Fatalf("round trip: %+v", back.Figures[0].Series[0].Rows[0])
+	}
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/runs            submit a RunSpec; ?wait=1 blocks for the result
+//	GET    /v1/runs/{id}       job status (+ result when done)
+//	DELETE /v1/runs/{id}       cancel a queued or running job
+//	GET    /v1/runs/{id}/events NDJSON progress stream
+//	GET    /metrics            Prometheus-style text metrics
+//	GET    /healthz            liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// submitResponse is the POST /v1/runs body.
+type submitResponse struct {
+	ID     string          `json:"id,omitempty"`
+	Status Status          `json:"status"`
+	Cache  string          `json:"cache"` // "hit" | "miss"
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	job, cached, err := s.Submit(spec, !wait)
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if cached != nil {
+		writeJSON(w, http.StatusOK, submitResponse{Status: StatusDone, Cache: "hit", Result: cached})
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, Status: job.Status(), Cache: "miss"})
+		return
+	}
+	// Synchronous mode: the request context is the client's lifetime —
+	// a disconnect releases the job (cancelling it if nobody else
+	// waits or watches it).
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		job.Release()
+		return
+	}
+	job.Release()
+	snap := job.Snapshot()
+	resp := submitResponse{ID: snap.ID, Status: snap.Status, Cache: "miss", Error: snap.Error, Result: snap.Result}
+	code := http.StatusOK
+	if snap.Status != StatusDone {
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.Cancel(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	ch, cancel := job.Subscribe()
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var cyclesPerSec float64
+	if st.SimSeconds > 0 {
+		cyclesPerSec = float64(st.Cycles) / st.SimSeconds
+	}
+	draining := 0
+	if st.Draining {
+		draining = 1
+	}
+	for _, m := range []struct {
+		name, typ string
+		value     any
+	}{
+		{"simd_queue_depth", "gauge", st.QueueDepth},
+		{"simd_inflight_jobs", "gauge", st.Inflight},
+		{"simd_draining", "gauge", draining},
+		{"simd_submissions_total", "counter", st.Submitted},
+		{"simd_coalesced_total", "counter", st.Coalesced},
+		{"simd_rejected_total", "counter", st.Rejected},
+		{"simd_jobs_completed_total", "counter", st.Completed},
+		{"simd_jobs_failed_total", "counter", st.Failed},
+		{"simd_jobs_canceled_total", "counter", st.Canceled},
+		{"simd_retries_total", "counter", st.Retries},
+		{"simd_simulations_total", "counter", st.Simulations},
+		{"simd_cycles_simulated_total", "counter", st.Cycles},
+		{"simd_sim_seconds_total", "counter", st.SimSeconds},
+		{"simd_cycles_per_sec", "gauge", cyclesPerSec},
+		{"simd_cache_hits_total", "counter", st.Cache.Hits},
+		{"simd_cache_disk_hits_total", "counter", st.Cache.DiskHits},
+		{"simd_cache_misses_total", "counter", st.Cache.Misses},
+		{"simd_cache_evictions_total", "counter", st.Cache.Evictions},
+		{"simd_cache_corrupt_total", "counter", st.Cache.Corrupt},
+		{"simd_cache_bytes", "gauge", st.Cache.Bytes},
+		{"simd_cache_entries", "gauge", st.Cache.Entries},
+	} {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", m.name, m.typ, m.name, m.value)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,508 @@
+// Package server is the simulation-as-a-service job engine behind
+// cmd/simd. It wraps experiments.Runner with a bounded job queue
+// (backpressure when full), a worker pool, request coalescing
+// (concurrent identical submissions share one run), a content-addressed
+// result cache (internal/store), retry with exponential backoff for
+// transient failures, per-job deadlines with cancellation, and a
+// graceful drain for shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Submission errors, mapped to HTTP statuses by the handlers.
+var (
+	ErrBadSpec   = errors.New("invalid run spec")
+	ErrQueueFull = errors.New("queue full")
+	ErrDraining  = errors.New("server draining")
+)
+
+// TransientError marks an error as retryable by the worker loop.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err should be retried.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// RunSpec is the wire form of a simulation request.
+type RunSpec struct {
+	// Scheme names the machine configuration: "baseline32",
+	// "baseline128", "rrob", "relaxed-rrob", "cdr-rrob", "prob" or
+	// "shared128".
+	Scheme string `json:"scheme"`
+	// Threshold overrides the scheme's default DoD threshold
+	// (rrob: 16, relaxed/cdr: 15, prob: 5).
+	Threshold int `json:"threshold,omitempty"`
+	// Mixes selects Table-2 mixes by name; empty means all eleven.
+	Mixes []string `json:"mixes,omitempty"`
+	// Budget is the per-thread instruction budget (default 200k).
+	Budget uint64 `json:"budget,omitempty"`
+	// Seed is the workload seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutSec caps the job's run time (default Config.JobTimeout).
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// keySpec is the content-address material: the fully resolved
+// configuration, so "rrob" and "rrob"+threshold 16 address the same
+// result.
+type keySpec struct {
+	Options tlrob.Options `json:"options"`
+	Mixes   []string      `json:"mixes"`
+	Budget  uint64        `json:"budget"`
+	Seed    uint64        `json:"seed"`
+}
+
+// resolveScheme maps a spec's scheme name to an experiments SchemeSpec.
+func resolveScheme(name string, threshold int) (experiments.SchemeSpec, error) {
+	th := func(def int) int {
+		if threshold > 0 {
+			return threshold
+		}
+		return def
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "baseline", "baseline32":
+		return experiments.Baseline32(), nil
+	case "baseline128":
+		return experiments.Baseline128(), nil
+	case "rrob":
+		return experiments.RROB(th(16)), nil
+	case "relaxed-rrob", "relaxed":
+		return experiments.RelaxedRROB(th(15)), nil
+	case "cdr-rrob", "cdr":
+		return experiments.CDRROB(th(15)), nil
+	case "prob":
+		return experiments.PROB(th(5)), nil
+	case "shared128", "shared":
+		return experiments.SchemeSpec{
+			Label: "Shared_128",
+			Opt:   tlrob.Options{Scheme: tlrob.SharedSingle, L1ROB: 32},
+		}, nil
+	default:
+		return experiments.SchemeSpec{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+// normalize validates the spec, fills defaults and resolves the scheme
+// and mix list.
+func (sp RunSpec) normalize(cfg Config) (RunSpec, experiments.SchemeSpec, []workload.Mix, error) {
+	scheme, err := resolveScheme(sp.Scheme, sp.Threshold)
+	if err != nil {
+		return sp, scheme, nil, err
+	}
+	if sp.Budget == 0 {
+		sp.Budget = 200_000
+	}
+	if sp.Budget > cfg.MaxBudget {
+		return sp, scheme, nil, fmt.Errorf("budget %d exceeds the limit %d", sp.Budget, cfg.MaxBudget)
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	var mixes []workload.Mix
+	if len(sp.Mixes) == 0 {
+		mixes = workload.Mixes
+	} else {
+		for _, name := range sp.Mixes {
+			m, ok := workload.MixByName(name)
+			if !ok {
+				return sp, scheme, nil, fmt.Errorf("unknown mix %q", name)
+			}
+			mixes = append(mixes, m)
+		}
+	}
+	return sp, scheme, mixes, nil
+}
+
+// Config sizes the server.
+type Config struct {
+	Store        *store.Store
+	QueueSize    int           // bounded queue; full submissions get ErrQueueFull (default 64)
+	Workers      int           // concurrent jobs (default 2)
+	SimWorkers   int           // goroutines per job's sweep (0 = all cores)
+	JobTimeout   time.Duration // per-job deadline (default 10m)
+	Retries      int           // retry budget for transient failures (default 2)
+	RetryBackoff time.Duration // initial backoff, doubled per retry (default 250ms)
+	MaxBudget    uint64        // largest accepted per-thread budget (default 5M)
+	Logf         func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 5_000_000
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Stats is the server's observable state, rendered by /metrics.
+type Stats struct {
+	QueueDepth  int
+	Inflight    int64
+	Submitted   uint64
+	Coalesced   uint64 // submissions that attached to an in-flight identical job
+	Rejected    uint64 // queue-full rejections
+	Completed   uint64
+	Failed      uint64
+	Canceled    uint64
+	Retries     uint64
+	Simulations uint64 // sweeps actually started (singleflight collapses these)
+	Cycles      uint64 // simulated cycles, summed over completed jobs
+	SimSeconds  float64
+	Draining    bool
+	Cache       store.Stats
+}
+
+// Server owns the queue, the workers and the job registry.
+type Server struct {
+	cfg   Config
+	queue chan *Job
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job // by job ID, for status lookups
+	active   map[string]*Job // by cache key, for singleflight
+	seq      uint64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workersWG  sync.WaitGroup
+
+	inflight                                  atomic.Int64
+	submitted, coalesced, rejected            atomic.Uint64
+	completed, failed, canceled               atomic.Uint64
+	retries, simulations, cycles, simNanosSum atomic.Uint64
+
+	// simulate is swapped by tests to fault-inject transient errors.
+	simulate func(ctx context.Context, j *Job) (report.Series, int64, error)
+	// beforeRun, if set (tests), blocks a worker at job start.
+	beforeRun func(j *Job)
+}
+
+// New starts a server with cfg.Workers workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		queue:      make(chan *Job, cfg.QueueSize),
+		jobs:       make(map[string]*Job),
+		active:     make(map[string]*Job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.simulate = s.runSweep
+	for w := 0; w < cfg.Workers; w++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit resolves the spec, consults the cache, coalesces with any
+// identical in-flight job, or enqueues a new one. It returns either the
+// cached result bytes (job == nil) or a job to watch. detach marks
+// fire-and-forget submissions whose jobs survive client disconnects;
+// attached submissions (wait=1) must pair with Job.Release.
+func (s *Server) Submit(spec RunSpec, detach bool) (*Job, []byte, error) {
+	spec, scheme, mixes, err := spec.normalize(s.cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+	opt := scheme.Opt
+	opt.Budget = spec.Budget
+	opt.Seed = spec.Seed
+	names := make([]string, len(mixes))
+	for i, m := range mixes {
+		names[i] = m.Name
+	}
+	key, err := store.Key(keySpec{Options: opt, Mixes: names, Budget: spec.Budget, Seed: spec.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	s.submitted.Add(1)
+	if data, ok := s.cfg.Store.Get(key); ok {
+		return nil, data, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, nil, ErrDraining
+	}
+	if j := s.active[key]; j != nil {
+		if j.ctx.Err() == nil {
+			if detach {
+				j.detach()
+			} else {
+				j.addWaiter()
+			}
+			s.coalesced.Add(1)
+			s.mu.Unlock()
+			return j, nil, nil
+		}
+		// The in-flight job was already cancelled; don't attach new
+		// submitters to a doomed run.
+		delete(s.active, key)
+	}
+	s.seq++
+	id := fmt.Sprintf("%s-%d", key[:12], s.seq)
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	j := &Job{
+		ID:        id,
+		Key:       key,
+		Spec:      spec,
+		scheme:    scheme,
+		mixes:     mixes,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		subs:      make(map[chan Event]bool),
+		status:    StatusQueued,
+		detached:  detach,
+		createdAt: time.Now(),
+	}
+	if !detach {
+		j.waiters = 1
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel(ErrQueueFull)
+		s.rejected.Add(1)
+		return nil, nil, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.active[key] = j
+	s.mu.Unlock()
+	j.emit(Event{Type: "queued", Total: len(mixes)})
+	return j, nil, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job. It reports whether the job
+// exists.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.cancel(context.Canceled)
+	return true
+}
+
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	defer s.unregister(j)
+	if j.ctx.Err() != nil { // cancelled while queued
+		j.finish(StatusCanceled, nil, context.Cause(j.ctx).Error())
+		s.canceled.Add(1)
+		return
+	}
+	timeout := s.cfg.JobTimeout
+	if j.Spec.TimeoutSec > 0 {
+		timeout = time.Duration(j.Spec.TimeoutSec) * time.Second
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	j.setStarted()
+	j.emit(Event{Type: "running", Total: len(j.mixes)})
+	if s.beforeRun != nil {
+		s.beforeRun(j)
+	}
+
+	var (
+		series  report.Series
+		cycles  int64
+		runErr  error
+		backoff = s.cfg.RetryBackoff
+	)
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		series, cycles, runErr = s.simulate(ctx, j)
+		if runErr == nil || ctx.Err() != nil || attempt >= s.cfg.Retries || !IsTransient(runErr) {
+			break
+		}
+		s.retries.Add(1)
+		j.emit(Event{Type: "retry", Error: runErr.Error()})
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+		}
+		backoff *= 2
+	}
+	s.simNanosSum.Add(uint64(time.Since(start).Nanoseconds()))
+
+	switch {
+	case runErr == nil:
+		data, err := json.Marshal(series)
+		if err != nil {
+			j.finish(StatusFailed, nil, err.Error())
+			s.failed.Add(1)
+			return
+		}
+		if err := s.cfg.Store.Put(j.Key, data); err != nil {
+			s.cfg.Logf("simd: cache put %s: %v", j.Key[:12], err)
+		}
+		s.cycles.Add(uint64(cycles))
+		s.completed.Add(1)
+		j.finish(StatusDone, data, "")
+	case errors.Is(runErr, context.Canceled):
+		s.canceled.Add(1)
+		j.finish(StatusCanceled, nil, cancelReason(j.ctx, runErr))
+	default:
+		s.failed.Add(1)
+		j.finish(StatusFailed, nil, runErr.Error())
+	}
+}
+
+func cancelReason(ctx context.Context, err error) string {
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause.Error()
+	}
+	return err.Error()
+}
+
+func (s *Server) unregister(j *Job) {
+	s.mu.Lock()
+	if s.active[j.Key] == j {
+		delete(s.active, j.Key)
+	}
+	s.mu.Unlock()
+}
+
+// runSweep executes the job's sweep, streaming per-mix progress into the
+// job's event log.
+func (s *Server) runSweep(ctx context.Context, j *Job) (report.Series, int64, error) {
+	r := experiments.NewRunner(experiments.Params{
+		Budget:  j.Spec.Budget,
+		Seed:    j.Spec.Seed,
+		Workers: s.cfg.SimWorkers,
+	})
+	var completed atomic.Int64
+	r.OnProgress = func(p experiments.Progress) {
+		ev := Event{Type: p.Stage, Mix: p.Item, Total: p.Total, FairThroughput: p.FairThroughput}
+		if p.Stage == "mix" {
+			ev.Completed = int(completed.Add(1))
+		}
+		j.emit(ev)
+	}
+	s.simulations.Add(1)
+	series, err := r.RunMixes(ctx, j.scheme, j.mixes)
+	if err != nil {
+		return report.Series{}, 0, err
+	}
+	var cycles int64
+	for _, row := range series.Rows {
+		cycles += row.Result.Cycles
+	}
+	return report.FromSeries(series, true), cycles, nil
+}
+
+// Shutdown drains the server: submissions are refused, queued and
+// running jobs finish. If ctx expires first, in-flight jobs are
+// cancelled and Shutdown reports ctx's error after they unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workersWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		QueueDepth:  len(s.queue),
+		Inflight:    s.inflight.Load(),
+		Submitted:   s.submitted.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Rejected:    s.rejected.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		Canceled:    s.canceled.Load(),
+		Retries:     s.retries.Load(),
+		Simulations: s.simulations.Load(),
+		Cycles:      s.cycles.Load(),
+		SimSeconds:  float64(s.simNanosSum.Load()) / 1e9,
+		Draining:    draining,
+		Cache:       s.cfg.Store.Stats(),
+	}
+}

@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+func testConfig(t *testing.T, mutate func(*Config)) Config {
+	t.Helper()
+	st, err := store.New(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Store:        st,
+		QueueSize:    8,
+		Workers:      2,
+		SimWorkers:   2,
+		JobTimeout:   time.Minute,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	s, err := New(testConfig(t, mutate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// tinySpec is a fast, deterministic single-mix run.
+func tinySpec() RunSpec {
+	return RunSpec{Scheme: "rrob", Threshold: 16, Mixes: []string{"Mix 1"}, Budget: 2_000, Seed: 1}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s stuck in %s", j.ID, j.Status())
+	}
+}
+
+func TestSubmitRunsAndCaches(t *testing.T) {
+	s := newTestServer(t, nil)
+	j, cached, err := s.Submit(tinySpec(), true)
+	if err != nil || cached != nil {
+		t.Fatalf("first submit: %v cached=%v", err, cached != nil)
+	}
+	waitDone(t, j)
+	if j.Status() != StatusDone {
+		t.Fatalf("status %s: %s", j.Status(), j.Snapshot().Error)
+	}
+	data, ok := j.Result()
+	if !ok {
+		t.Fatal("no result")
+	}
+	var series report.Series
+	if err := json.Unmarshal(data, &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Rows) != 1 || series.Rows[0].Mix != "Mix 1" || series.Rows[0].FairThroughput <= 0 {
+		t.Fatalf("series: %+v", series)
+	}
+
+	// Resubmission: byte-identical cached result, no new simulation.
+	sims := s.Stats().Simulations
+	j2, cached2, err := s.Submit(tinySpec(), true)
+	if err != nil || j2 != nil {
+		t.Fatalf("resubmit: %v job=%v", err, j2)
+	}
+	if !bytes.Equal(cached2, data) {
+		t.Fatal("cached result differs from the original")
+	}
+	if got := s.Stats().Simulations; got != sims {
+		t.Fatalf("resubmission re-simulated: %d -> %d", sims, got)
+	}
+}
+
+// TestSingleflightCollapse verifies N identical concurrent submissions
+// share one simulation.
+func TestSingleflightCollapse(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, nil)
+	s.beforeRun = func(*Job) { <-release }
+
+	const n = 8
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, cached, err := s.Submit(tinySpec(), true)
+			if err != nil || cached != nil {
+				t.Errorf("submit %d: %v cached=%v", i, err, cached != nil)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("submission %d got no job", i)
+		}
+		if j.ID != jobs[0].ID {
+			t.Fatalf("submission %d got job %s, want %s", i, j.ID, jobs[0].ID)
+		}
+		waitDone(t, j)
+	}
+	st := s.Stats()
+	if st.Simulations != 1 {
+		t.Fatalf("%d simulations for %d identical submissions", st.Simulations, n)
+	}
+	if st.Coalesced != n-1 {
+		t.Fatalf("coalesced %d, want %d", st.Coalesced, n-1)
+	}
+}
+
+// TestQueueFullBackpressure verifies a full queue rejects with
+// ErrQueueFull (HTTP 429) instead of blocking.
+func TestQueueFullBackpressure(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) { c.Workers = 1; c.QueueSize = 1 })
+	s.beforeRun = func(*Job) { started <- struct{}{}; <-release }
+	defer close(release)
+
+	spec := func(seed uint64) RunSpec {
+		sp := tinySpec()
+		sp.Seed = seed
+		return sp
+	}
+	// Job 1 occupies the worker...
+	if _, _, err := s.Submit(spec(1), true); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...job 2 occupies the single queue slot...
+	if _, _, err := s.Submit(spec(2), true); err != nil {
+		t.Fatal(err)
+	}
+	// ...job 3 must bounce.
+	_, _, err := s.Submit(spec(3), true)
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("rejected counter: %+v", s.Stats())
+	}
+}
+
+// TestCancellationFreesWorkers verifies the acceptance criterion:
+// cancelling an in-flight job stops its workers before the sweep
+// completes, and the worker is immediately reusable.
+func TestCancellationFreesWorkers(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 1; c.SimWorkers = 1 })
+	// All 11 mixes at a budget big enough that the sweep takes a while.
+	spec := RunSpec{Scheme: "rrob", Budget: 30_000, Seed: 1}
+	j, cached, err := s.Submit(spec, true)
+	if err != nil || cached != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Wait for the first completed mix, then cancel.
+	ch, stop := j.Subscribe()
+	defer stop()
+	for ev := range ch {
+		if ev.Type == "mix" {
+			break
+		}
+	}
+	if !s.Cancel(j.ID) {
+		t.Fatal("job not found")
+	}
+	waitDone(t, j)
+	if j.Status() != StatusCanceled {
+		t.Fatalf("status %s, want canceled", j.Status())
+	}
+	var mixes int
+	for _, ev := range j.Snapshot().eventsForTest(j) {
+		if ev.Type == "mix" {
+			mixes++
+		}
+	}
+	if mixes >= 11 {
+		t.Fatalf("sweep ran all %d mixes despite cancellation", mixes)
+	}
+
+	// The (sole) worker must be free: a fresh small job completes.
+	j2, cached2, err := s.Submit(tinySpec(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached2 == nil {
+		waitDone(t, j2)
+		if j2.Status() != StatusDone {
+			t.Fatalf("follow-up job: %s", j2.Status())
+		}
+	}
+	if got := s.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight %d after completion", got)
+	}
+}
+
+// eventsForTest exposes the recorded events (the Snapshot receiver keeps
+// the wire type clean).
+func (Snapshot) eventsForTest(j *Job) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// TestLastWaiterDisconnectCancels verifies client-disconnect
+// cancellation: when the last attached (wait=1) client goes away, the
+// job is cancelled; detached jobs survive.
+func TestLastWaiterDisconnectCancels(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.SimWorkers = 1 })
+	spec := RunSpec{Scheme: "prob", Budget: 30_000, Seed: 7}
+	j, _, err := s.Submit(spec, false) // attached
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Release() // the only waiting client disconnects
+	waitDone(t, j)
+	if j.Status() != StatusCanceled {
+		t.Fatalf("status %s, want canceled", j.Status())
+	}
+	if msg := j.Snapshot().Error; !strings.Contains(msg, "disconnected") {
+		t.Fatalf("cancel reason %q", msg)
+	}
+}
+
+// TestRetryTransient verifies the worker retries transient failures with
+// backoff and succeeds.
+func TestRetryTransient(t *testing.T) {
+	s := newTestServer(t, nil)
+	real := s.simulate
+	var calls int
+	var mu sync.Mutex
+	s.simulate = func(ctx context.Context, j *Job) (report.Series, int64, error) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= 2 {
+			return report.Series{}, 0, &TransientError{Err: fmt.Errorf("flaky backend %d", n)}
+		}
+		return real(ctx, j)
+	}
+	j, _, err := s.Submit(tinySpec(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.Status() != StatusDone {
+		t.Fatalf("status %s: %s", j.Status(), j.Snapshot().Error)
+	}
+	if st := s.Stats(); st.Retries != 2 {
+		t.Fatalf("retries %d, want 2", st.Retries)
+	}
+}
+
+// TestNonTransientFailureDoesNotRetry verifies deterministic failures
+// surface immediately.
+func TestNonTransientFailureDoesNotRetry(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.simulate = func(ctx context.Context, j *Job) (report.Series, int64, error) {
+		return report.Series{}, 0, fmt.Errorf("deterministic config error")
+	}
+	j, _, err := s.Submit(tinySpec(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.Status() != StatusFailed {
+		t.Fatalf("status %s", j.Status())
+	}
+	if st := s.Stats(); st.Retries != 0 {
+		t.Fatalf("retried a deterministic failure %d times", st.Retries)
+	}
+}
+
+func TestBadSpecRejected(t *testing.T) {
+	s := newTestServer(t, nil)
+	for name, spec := range map[string]RunSpec{
+		"unknown scheme": {Scheme: "warp-drive"},
+		"unknown mix":    {Scheme: "rrob", Mixes: []string{"Mix 99"}},
+		"huge budget":    {Scheme: "rrob", Budget: 1 << 60},
+	} {
+		if _, _, err := s.Submit(spec, true); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	s, err := New(testConfig(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := s.Submit(tinySpec(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if j.Status() != StatusDone {
+		t.Fatalf("queued job not drained: %s", j.Status())
+	}
+	// Cached results are still served while draining; new work is not.
+	if _, cached, err := s.Submit(tinySpec(), true); err != nil || cached == nil {
+		t.Fatalf("cached submit during drain: %v cached=%v", err, cached != nil)
+	}
+	fresh := tinySpec()
+	fresh.Seed = 42
+	if _, _, err := s.Submit(fresh, true); err != ErrDraining {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+// TestHTTPEndToEnd drives the full HTTP surface: submit, poll, events,
+// cache hit on resubmission, metrics.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(tinySpec())
+	resp, err := http.Post(ts.URL+"/v1/runs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || first.Status != StatusDone || first.Cache != "hit" && first.Cache != "miss" {
+		t.Fatalf("first response: %d %+v", resp.StatusCode, first)
+	}
+
+	// Resubmission must be a cache hit with a byte-identical result.
+	resp, err = http.Post(ts.URL+"/v1/runs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if second.Cache != "hit" {
+		t.Fatalf("resubmission: %+v", second)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cache hit result differs")
+	}
+
+	// Async submission of a different spec + status poll + events.
+	spec2 := tinySpec()
+	spec2.Seed = 9
+	body2, _ := json.Marshal(spec2)
+	resp, err = http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var async submitResponse
+	json.NewDecoder(resp.Body).Decode(&async)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || async.ID == "" {
+		t.Fatalf("async submit: %d %+v", resp.StatusCode, async)
+	}
+	evResp, err := http.Get(ts.URL + "/v1/runs/" + async.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	var sawMix, sawTerminal bool
+	sc := bufio.NewScanner(evResp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Type == "mix" {
+			sawMix = true
+		}
+		if Status(ev.Type).terminal() {
+			sawTerminal = true
+		}
+	}
+	if !sawMix || !sawTerminal {
+		t.Fatalf("event stream incomplete: mix=%v terminal=%v", sawMix, sawTerminal)
+	}
+
+	getResp, err := http.Get(ts.URL + "/v1/runs/" + async.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	json.NewDecoder(getResp.Body).Decode(&snap)
+	getResp.Body.Close()
+	if snap.Status != StatusDone || len(snap.Result) == 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+
+	// Metrics must show the cache hit and the completed jobs.
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sc = bufio.NewScanner(mResp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	mResp.Body.Close()
+	metrics := sb.String()
+	for _, want := range []string{"simd_cache_hits_total 1", "simd_queue_depth 0", "simd_simulations_total 2"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Unknown job: 404.
+	r404, _ := http.Get(ts.URL + "/v1/runs/nope")
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", r404.StatusCode)
+	}
+	r404.Body.Close()
+
+	// Health.
+	h, _ := http.Get(ts.URL + "/healthz")
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", h.StatusCode)
+	}
+	h.Body.Close()
+}
+
+// TestHTTPQueueFull429 verifies backpressure surfaces as 429.
+func TestHTTPQueueFull429(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	s := newTestServer(t, func(c *Config) { c.Workers = 1; c.QueueSize = 1 })
+	s.beforeRun = func(*Job) { started <- struct{}{}; <-release }
+	defer close(release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(seed uint64) int {
+		sp := tinySpec()
+		sp.Seed = seed
+		body, _ := json.Marshal(sp)
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(1); code != http.StatusAccepted {
+		t.Fatalf("job 1: %d", code)
+	}
+	<-started
+	if code := post(2); code != http.StatusAccepted {
+		t.Fatalf("job 2: %d", code)
+	}
+	if code := post(3); code != http.StatusTooManyRequests {
+		t.Fatalf("job 3: %d, want 429", code)
+	}
+}

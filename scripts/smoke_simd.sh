@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke test for cmd/simd, run by CI and usable locally:
+#   ./scripts/smoke_simd.sh
+# Starts the daemon, submits a small run, asserts a 200 result, asserts
+# the identical resubmission is a byte-identical cache hit (via the
+# response envelope and the /metrics hit counter), then SIGTERMs the
+# daemon and asserts a clean drain (exit code 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${SIMD_PORT:-8972}"
+BASE="http://$ADDR"
+CACHE_DIR="$(mktemp -d)"
+BIN="$(mktemp -d)/simd"
+SPEC='{"scheme":"rrob","threshold":16,"mixes":["Mix 1"],"budget":5000,"seed":1}'
+
+go build -o "$BIN" ./cmd/simd
+"$BIN" -addr "$ADDR" -cache-dir "$CACHE_DIR" &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "==> submit"
+R1=$(curl -fsS -X POST "$BASE/v1/runs?wait=1" -d "$SPEC")
+echo "$R1" | jq -e '.status == "done" and .cache == "miss"' >/dev/null \
+  || { echo "unexpected first response: $R1"; exit 1; }
+
+echo "==> resubmit (must be a cache hit)"
+R2=$(curl -fsS -X POST "$BASE/v1/runs?wait=1" -d "$SPEC")
+echo "$R2" | jq -e '.cache == "hit"' >/dev/null \
+  || { echo "resubmission was not a cache hit: $R2"; exit 1; }
+
+echo "==> results byte-identical"
+[ "$(echo "$R1" | jq -cS .result)" = "$(echo "$R2" | jq -cS .result)" ] \
+  || { echo "cached result differs from original"; exit 1; }
+
+echo "==> metrics show the hit and exactly one simulation"
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^simd_cache_hits_total 1$' \
+  || { echo "bad hit counter"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '^simd_simulations_total 1$' \
+  || { echo "resubmission re-simulated"; echo "$METRICS"; exit 1; }
+
+echo "==> event stream reaches a terminal state"
+ID=$(curl -fsS -X POST "$BASE/v1/runs" -d '{"scheme":"prob","mixes":["Mix 2"],"budget":5000}' | jq -r .id)
+curl -fsS "$BASE/v1/runs/$ID/events" | tail -1 | jq -e '.type == "done"' >/dev/null \
+  || { echo "event stream did not end in done"; exit 1; }
+
+echo "==> SIGTERM drains cleanly"
+kill -TERM "$PID"
+CODE=0
+wait "$PID" || CODE=$?
+trap - EXIT
+[ "$CODE" -eq 0 ] || { echo "daemon exited $CODE after SIGTERM"; exit 1; }
+echo "OK"
