@@ -308,3 +308,30 @@ func BenchmarkAblationEarlyRegRelease(b *testing.B) {
 		"RROB16-early": {Scheme: Reactive, DoDThreshold: 16, EarlyRegRelease: true},
 	})
 }
+
+// BenchmarkTelemetryOverhead prices the instrumentation layer: the same
+// R-ROB16 run of Mix 1 with telemetry off (the default everyone pays)
+// and on. The off side must match the seed's allocation profile —
+// telemetry disabled is one nil check per cycle — and the on side
+// bounds the cost of full stall attribution plus occupancy sampling.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	singles := benchSingles(b)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := Options{Scheme: Reactive, DoDThreshold: 16, Budget: benchBudget, Telemetry: mode.on}
+			b.ReportAllocs()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := RunMix(workload.Mixes[0], opt, singles)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Command checkbench validates a BENCH_results.json produced by
+// cmd/bench before CI uploads it: the report must parse, contain at
+// least one row, and every row must describe a run that actually
+// happened (positive cycles and committed instructions). An empty or
+// degenerate report fails the build instead of silently shipping a
+// useless artifact.
+//
+//	checkbench BENCH_results.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkbench <BENCH_results.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal("%s: not a bench report: %v", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		fatal("%s: report has no rows", path)
+	}
+	if rep.Budget == 0 {
+		fatal("%s: report has zero budget", path)
+	}
+	for i, r := range rep.Rows {
+		if r.Scheme == "" || r.Mix == "" {
+			fatal("%s: row %d is missing its scheme or mix label", path, i)
+		}
+		if r.Cycles <= 0 || r.Instructions == 0 {
+			fatal("%s: row %d (%s, %s) records no simulated work (cycles=%d, instructions=%d)",
+				path, i, r.Scheme, r.Mix, r.Cycles, r.Instructions)
+		}
+	}
+	fmt.Printf("checkbench: %s ok (%d rows, budget %d, %s)\n",
+		path, len(rep.Rows), rep.Budget, rep.GoVersion)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checkbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,6 +7,8 @@
 //	experiments -fig2 -budget 100000      # just the headline comparison
 //	experiments -fig2 -json               # machine-readable output
 //	experiments -table2 -list-config      # configuration summaries only
+//	experiments -stalls                   # per-scheme stall attribution
+//	experiments -trace out.json -trace-scheme rrob -trace-mix "Mix 1"
 package main
 
 import (
@@ -17,8 +19,10 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -38,13 +42,20 @@ func main() {
 		fig6    = flag.Bool("fig6", false, "Figure 6: FT with P-ROB3/P-ROB5")
 		fig7    = flag.Bool("fig7", false, "Figure 7: DoD histogram with P-ROB5")
 		sweeps  = flag.Bool("sweeps", false, "parameter sweeps (DoD thresholds, L2 size, CDR delay)")
+
+		stalls      = flag.Bool("stalls", false, "stall-attribution breakdown per scheme over all mixes (telemetry)")
+		trace       = flag.String("trace", "", "write a Chrome/Perfetto trace of one instrumented mix run to this file")
+		traceScheme = flag.String("trace-scheme", "rrob", "scheme for -trace (baseline, baseline128, rrob, relaxed, cdr, prob, shared)")
+		traceMix    = flag.String("trace-mix", "Mix 1", "Table-2 mix name for -trace")
+		sampleIvl   = flag.Int("sample-interval", 0, "telemetry occupancy sampling interval in cycles (0 = default)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	all := !(*listCfg || *table2 || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *sweeps)
+	all := !(*listCfg || *table2 || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *sweeps ||
+		*stalls || *trace != "")
 
 	out := os.Stdout
 	doc := report.NewDocument(*budget, *seed)
@@ -120,6 +131,29 @@ func main() {
 			fmt.Fprintln(out)
 		}
 	}
+	if *stalls {
+		// A separate telemetry-enabled runner: the figure sweeps above
+		// stay uninstrumented.
+		rt := experiments.NewRunner(experiments.Params{
+			Budget: *budget, Seed: *seed, Workers: *workers, Telemetry: true,
+		})
+		for _, spec := range []experiments.SchemeSpec{
+			experiments.Baseline32(), experiments.Baseline128(),
+			experiments.RROB(16), experiments.PROB(5),
+		} {
+			s, err := rt.RunScheme(ctx, spec)
+			fatal(err)
+			if *asJSON {
+				doc.AddFigure("Stall attribution: "+spec.Label, []experiments.SchemeSeries{s}, false)
+			} else {
+				fatal(experiments.WriteStallTable(out, s))
+				fmt.Fprintln(out)
+			}
+		}
+	}
+	if *trace != "" {
+		fatal(writeTrace(*trace, *traceScheme, *traceMix, *budget, *seed, *sampleIvl))
+	}
 	if *sweeps {
 		runSweep := func(title string, pts []experiments.SweepPoint, err error) {
 			fatal(err)
@@ -141,6 +175,43 @@ func main() {
 	if *asJSON {
 		fatal(doc.WriteJSON(out))
 	}
+}
+
+// writeTrace runs one instrumented mix and exports its telemetry as a
+// Chrome Trace Format file loadable in Perfetto or chrome://tracing.
+func writeTrace(path, schemeName, mixName string, budget, seed uint64, sampleIvl int) error {
+	spec, err := experiments.SchemeByName(schemeName, 0)
+	if err != nil {
+		return err
+	}
+	mix, ok := workload.MixByName(mixName)
+	if !ok {
+		return fmt.Errorf("unknown mix %q (see -table2 for names)", mixName)
+	}
+	opt := spec.Opt
+	opt.Budget = budget
+	opt.Seed = seed
+	opt.Telemetry = true
+	opt.TelemetrySampleInterval = sampleIvl
+	res, err := tlrob.RunMix(mix, opt, nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Raw.Telemetry.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s (%s, %s, %d cycles, %d samples, %d grants)\n",
+		path, spec.Label, mix.Name, res.Cycles,
+		res.Raw.Telemetry.SampleCount(), res.Telemetry.Grants.Count)
+	return nil
 }
 
 // writeGrowth prints the dependent-growth line under Figures 3 and 7 when

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -24,6 +26,12 @@ type Params struct {
 	Budget  uint64 // instructions per thread per run
 	Seed    uint64
 	Workers int // concurrent simulations; 0 = GOMAXPROCS
+
+	// Telemetry enables internal/telemetry on every mix run of the
+	// sweep: rows then carry stall-attribution and occupancy summaries
+	// and progress events include them. Single-threaded reference runs
+	// are never instrumented (only their IPC is consumed).
+	Telemetry bool
 }
 
 // DefaultParams returns a laptop-scale sweep (the paper used 100M
@@ -88,6 +96,42 @@ func PROB(threshold int) SchemeSpec {
 	}
 }
 
+// SchemeByName resolves a scheme label (as accepted by cmd/experiments
+// and the simd job API) to its SchemeSpec. threshold overrides the
+// scheme's default DoD threshold when > 0; schemes without a threshold
+// ignore it. Recognised names, case-insensitively: baseline/baseline32,
+// baseline128, rrob, relaxed-rrob/relaxed, cdr-rrob/cdr, prob,
+// shared128/shared.
+func SchemeByName(name string, threshold int) (SchemeSpec, error) {
+	th := func(def int) int {
+		if threshold > 0 {
+			return threshold
+		}
+		return def
+	}
+	switch strings.ToLower(name) {
+	case "baseline", "baseline32":
+		return Baseline32(), nil
+	case "baseline128":
+		return Baseline128(), nil
+	case "rrob":
+		return RROB(th(16)), nil
+	case "relaxed-rrob", "relaxed":
+		return RelaxedRROB(th(15)), nil
+	case "cdr-rrob", "cdr":
+		return CDRROB(th(15)), nil
+	case "prob":
+		return PROB(th(5)), nil
+	case "shared128", "shared":
+		return SchemeSpec{
+			Label: "Shared_128",
+			Opt:   tlrob.Options{Scheme: tlrob.SharedSingle, L1ROB: 32},
+		}, nil
+	default:
+		return SchemeSpec{}, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
 // MixRow is one mix's outcome under one scheme.
 type MixRow struct {
 	Mix            string
@@ -118,6 +162,9 @@ type Progress struct {
 	Index          int
 	Total          int
 	FairThroughput float64
+	// Telemetry is the completed mix run's stall/occupancy digest; nil
+	// unless Params.Telemetry is set (and always nil for "single" units).
+	Telemetry *telemetry.Summary
 }
 
 // Runner executes experiment sweeps with shared single-IPC references.
@@ -274,6 +321,9 @@ func (r *Runner) RunMixes(ctx context.Context, spec SchemeSpec, mixes []workload
 	opt := spec.Opt
 	opt.Budget = r.params.Budget
 	opt.Seed = r.params.Seed
+	if r.params.Telemetry {
+		opt.Telemetry = true
+	}
 	err = r.parallel(ctx, len(mixes), func(i int) error {
 		mix := mixes[i]
 		res, err := tlrob.RunMix(mix, opt, singles)
@@ -290,6 +340,7 @@ func (r *Runner) RunMixes(ctx context.Context, spec SchemeSpec, mixes []workload
 		r.progress(Progress{
 			Scheme: spec.Label, Stage: "mix", Item: mix.Name,
 			Index: i, Total: len(mixes), FairThroughput: res.FairThroughput,
+			Telemetry: res.Telemetry,
 		})
 		return nil
 	})

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/telemetry"
+)
+
+// WriteStallTable renders one scheme's per-mix stall-cause breakdown in
+// the spirit of the paper's Figure 2: one row per mix, one column per
+// cause, each cell the share of thread-cycles charged to that cause
+// (summed over the mix's threads), plus the dispatch-active share. The
+// final row averages over mixes. Rows whose run carried no telemetry
+// (Params.Telemetry unset) are skipped; the table notes how many.
+func WriteStallTable(w io.Writer, s SchemeSeries) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "%s\t", s.Label)
+	fmt.Fprint(tw, "active\t")
+	for c := telemetry.Cause(1); c < telemetry.NumCauses; c++ {
+		fmt.Fprintf(tw, "%s\t", c)
+	}
+	fmt.Fprintln(tw)
+
+	var (
+		avg     [telemetry.NumCauses]float64
+		avgAct  float64
+		rows    int
+		skipped int
+	)
+	for _, row := range s.Rows {
+		sum := row.Result.Telemetry
+		if sum == nil {
+			skipped++
+			continue
+		}
+		stalls, active := sum.StallTotals()
+		total := float64(sum.Cycles) * float64(len(sum.Threads))
+		if total == 0 {
+			skipped++
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t", row.Mix)
+		act := 100 * float64(active) / total
+		avgAct += act
+		fmt.Fprintf(tw, "%.1f%%\t", act)
+		for c := telemetry.Cause(1); c < telemetry.NumCauses; c++ {
+			pct := 100 * float64(stalls[c]) / total
+			avg[c] += pct
+			fmt.Fprintf(tw, "%.1f%%\t", pct)
+		}
+		fmt.Fprintln(tw)
+		rows++
+	}
+	if rows > 0 {
+		n := float64(rows)
+		fmt.Fprintf(tw, "Average\t%.1f%%\t", avgAct/n)
+		for c := telemetry.Cause(1); c < telemetry.NumCauses; c++ {
+			fmt.Fprintf(tw, "%.1f%%\t", avg[c]/n)
+		}
+		fmt.Fprintln(tw)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(tw, "(%d mixes without telemetry skipped)\n", skipped)
+	}
+	return tw.Flush()
+}

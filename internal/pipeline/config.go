@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/policy"
 	"repro/internal/rob"
+	"repro/internal/telemetry"
 )
 
 // Config assembles the full machine configuration (Table 1 defaults via
@@ -56,6 +57,13 @@ type Config struct {
 	Prewarm       bool  // prewarm caches from the sources' address regions
 	TrackExactDoD bool  // also compute the exact dataflow DoD per serviced miss
 	MaxCycles     int64 // safety stop; 0 = derive from the budget
+
+	// Telemetry, when non-nil, enables the instrumentation layer of
+	// internal/telemetry: per-cycle stall attribution, sampled structural
+	// occupancy and second-level grant intervals. Nil (the default) is
+	// the zero-overhead path: the per-cycle hook is a nil check and no
+	// telemetry state exists.
+	Telemetry *telemetry.Config
 }
 
 // DefaultConfig returns the paper's Table-1 machine for the given thread

@@ -16,6 +16,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/regfile"
 	"repro/internal/rob"
+	"repro/internal/telemetry"
 )
 
 // TraceSource supplies one thread's dynamic instruction stream.
@@ -120,6 +121,11 @@ type Result struct {
 	Branch       predictor.GShareStats
 	LoadHit      predictor.LoadHitStats
 	DoDPred      *rob.DoDPredStats // nil unless the predictive scheme ran
+
+	// Telemetry is the run's instrumentation collector (stall
+	// attribution, occupancy rings, grant intervals); nil unless
+	// Config.Telemetry was set.
+	Telemetry *telemetry.Collector
 }
 
 // CPU is one simulated SMT machine instance. Not safe for concurrent use;
@@ -158,6 +164,12 @@ type CPU struct {
 
 	dodHist *metrics.Histogram
 	stats   Stats
+
+	// tel is nil when telemetry is disabled; every per-cycle hook is
+	// guarded by that nil check so the disabled path stays free of
+	// telemetry work. telState is the reusable per-cycle snapshot.
+	tel      *telemetry.Collector
+	telState *telemetry.CycleState
 }
 
 // New builds a CPU; sources must supply cfg.Threads trace streams.
@@ -240,6 +252,13 @@ func New(cfg Config, sources []TraceSource) (*CPU, error) {
 	c.stats.LoadL1Miss = make([]uint64, cfg.Threads)
 	c.stats.LoadL2Miss = make([]uint64, cfg.Threads)
 	c.stats.LoadLatencySum = make([]uint64, cfg.Threads)
+	if cfg.Telemetry != nil {
+		c.tel = telemetry.NewCollector(cfg.Threads, *cfg.Telemetry)
+		c.telState = telemetry.NewCycleState(cfg.Threads)
+		c.rob.OnGrantAcquired = c.tel.GrantAcquired
+		c.rob.OnGrantPiggyback = c.tel.GrantPiggyback
+		c.rob.OnGrantReleased = c.tel.GrantReleased
+	}
 	return c, nil
 }
 
@@ -267,6 +286,9 @@ func (c *CPU) Run(budget uint64) (Result, error) {
 		c.buildSnapshots()
 		c.issue()
 		c.dispatch()
+		if c.tel != nil {
+			c.recordTelemetry()
+		}
 		c.fetch()
 		c.now++
 		if c.now >= maxCycles {
@@ -295,6 +317,10 @@ func (c *CPU) result() Result {
 		LoadHit:   c.loadHit.Stats(),
 	}
 	res.Cycles = c.now
+	if c.tel != nil {
+		c.tel.Finish(c.now)
+		res.Telemetry = c.tel
+	}
 	if c.early != nil {
 		res.EarlyRegReleases = c.early.Released()
 	}
@@ -308,6 +334,39 @@ func (c *CPU) result() Result {
 		}
 	}
 	return res
+}
+
+// recordTelemetry charges the just-simulated cycle: dispatch classified
+// the blocked threads during its walk (telState.Causes); threads it
+// never reached are classified here, then the occupancy snapshot is
+// taken and the cycle committed to the collector. Runs only when
+// telemetry is enabled.
+func (c *CPU) recordTelemetry() {
+	st := c.telState
+	for t := range c.threads {
+		th := &c.threads[t]
+		st.ROBLen[t] = int32(c.rob.Ring(t).Len())
+		if st.Dispatched[t] != 0 || st.Causes[t] != telemetry.CauseNone {
+			continue
+		}
+		// Dispatch never blocked on a resource for this thread: it was
+		// starved of eligible instructions, already finished, or lost
+		// the shared dispatch bandwidth to the other threads.
+		switch {
+		case th.finished:
+			st.Causes[t] = telemetry.CauseFinished
+		case th.fq.len() == 0 || th.fq.peek().readyAt > c.now:
+			st.Causes[t] = telemetry.CauseFetchStarved
+		default:
+			st.Causes[t] = telemetry.CauseDispatchBW
+		}
+	}
+	st.IQLen = int32(c.iq.Len())
+	st.IntRegs = int32(c.rf.InFlight(false))
+	st.FPRegs = int32(c.rf.InFlight(true))
+	st.Owner = int8(c.rob.Owner())
+	c.tel.RecordCycle(c.now, st)
+	st.Reset()
 }
 
 // buildSnapshots refreshes the per-thread state the policy decides from.

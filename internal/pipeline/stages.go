@@ -6,6 +6,7 @@ import (
 	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/rob"
+	"repro/internal/telemetry"
 	"repro/internal/uop"
 )
 
@@ -211,6 +212,7 @@ func (c *CPU) dispatch() {
 	budget := c.cfg.DispatchWidth
 	n := c.cfg.Threads
 	tid := c.dispatchRR
+	st := c.telState // nil when telemetry is disabled
 	for i := 0; i < n && budget > 0; i++ {
 		if i > 0 {
 			tid++
@@ -224,11 +226,19 @@ func (c *CPU) dispatch() {
 			if fe.readyAt > c.now {
 				break
 			}
-			if !c.dispatchOne(tid, th, fe) {
-				break // in-order dispatch: head-of-line blocks the thread
+			if cause := c.dispatchOne(tid, th, fe); cause != telemetry.CauseNone {
+				// In-order dispatch: head-of-line blocks the thread; the
+				// cycle is charged to the first blocking resource.
+				if st != nil && st.Dispatched[tid] == 0 {
+					st.Causes[tid] = cause
+				}
+				break
 			}
 			th.fq.pop()
 			budget--
+			if st != nil {
+				st.Dispatched[tid]++
+			}
 		}
 	}
 	c.dispatchRR++
@@ -237,38 +247,53 @@ func (c *CPU) dispatch() {
 	}
 }
 
-// dispatchOne renames and inserts one instruction; false means a resource
-// was unavailable and the thread must stall.
-func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) bool {
+// robStallCause classifies a CanDispatch refusal: a thread capped at its
+// first level while an L2 miss is outstanding and the second level is
+// held elsewhere (or not yet granted) is waiting on a grant — the cycles
+// the two-level schemes exist to reclaim; every other refusal is plain
+// ROB pressure.
+func (c *CPU) robStallCause(tid int, th *thread) telemetry.Cause {
+	s := c.cfg.ROB.Scheme
+	if s != rob.Baseline && s != rob.SharedSingle &&
+		c.rob.Owner() != tid && th.pendingL2Miss > 0 {
+		return telemetry.CauseL2GrantWait
+	}
+	return telemetry.CauseROBFull
+}
+
+// dispatchOne renames and inserts one instruction. It returns CauseNone
+// on success; any other cause means that resource was unavailable and
+// the thread must stall this cycle.
+func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) telemetry.Cause {
 	inst := &fe.inst
 	if !c.rob.CanDispatch(tid) {
-		return false
+		return c.robStallCause(tid, th)
 	}
 	if c.iq.Free() == 0 || !c.pol.MayDispatchIQ(tid, c.snaps) {
-		return false
+		return telemetry.CauseIQFull
 	}
 	// A thread dispatching beyond its private first level (the
 	// second-level owner) must leave issue-queue headroom for the other
 	// threads, exactly like the rename-register reserve below: the grant
 	// is not a licence to starve co-runners of dispatch slots.
 	if c.iq.Free() <= 2*c.cfg.Threads && c.rob.Ring(tid).Len() >= c.cfg.ROB.L1Size {
-		return false
+		return telemetry.CauseIQFull
 	}
 	isMem := inst.Op.IsMem()
 	if isMem && !c.lsq.CanInsert(tid) {
-		return false
+		return telemetry.CauseLSQFull
 	}
 	if inst.HasDest() {
 		free := c.rf.FreeCount(isa.IsFPReg(int(inst.Dest)))
 		if free == 0 {
-			return false
+			return telemetry.CauseRegFile
 		}
 		// A thread dispatching beyond its private first level (the
 		// second-level owner) must leave renaming headroom for the other
 		// threads; without the reserve a 416-deep window empties the
 		// rename pools and starves everyone else at dispatch.
 		if free <= 8*c.cfg.Threads && c.rob.Ring(tid).Len() >= c.cfg.ROB.L1Size {
-			return false
+			return telemetry.CauseRegFile
 		}
 	}
 
@@ -340,7 +365,7 @@ func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) bool {
 			c.early.OnOverwriterDispatched(tid, u.Seq, u.OldPhys)
 		}
 	}
-	return true
+	return telemetry.CauseNone
 }
 
 // ---- issue ----

@@ -11,6 +11,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // Thread is one hardware thread of a mix run.
@@ -30,6 +31,9 @@ type Row struct {
 	Cycles         int64    `json:"cycles"`
 	Threads        []Thread `json:"threads,omitempty"`
 	DoDHist        []uint64 `json:"dod_hist,omitempty"`
+	// Telemetry is the run's stall-attribution and occupancy digest,
+	// present only when the sweep ran with telemetry enabled.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // Series is one scheme evaluated over a set of mixes.
@@ -119,6 +123,7 @@ func FromSeries(s experiments.SchemeSeries, withHist bool) Series {
 			Throughput:     r.Throughput,
 			DoDMean:        r.DoDMean,
 			Cycles:         r.Result.Cycles,
+			Telemetry:      r.Result.Telemetry,
 		}
 		for _, th := range r.Result.Threads {
 			row.Threads = append(row.Threads, Thread{

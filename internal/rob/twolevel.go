@@ -158,6 +158,23 @@ type TwoLevel struct {
 	pred    *DoDPredictor
 	stats   Stats
 
+	// Grant lifecycle hooks, all optional (nil = no observer, no cost
+	// beyond one nil check at each tenancy transition). Acquired fires
+	// when a thread takes the free partition, Piggyback when a further
+	// qualifying miss of the owner joins the tenancy, Released when the
+	// owner's last granted miss retires (or is squashed) and the
+	// partition frees. now is the cycle of the most recent event the
+	// manager observed; squash-path releases may therefore be reported
+	// up to one cycle early, never late.
+	OnGrantAcquired  func(tid int, pc uint64, now int64)
+	OnGrantPiggyback func(tid int, pc uint64, now int64)
+	OnGrantReleased  func(tid int, now int64)
+
+	// lastNow is the most recent cycle passed to Tick, MissDetected or
+	// MissServiced — the timestamp source for hook calls on paths (the
+	// squash walk) that do not carry the current cycle.
+	lastNow int64
+
 	// ownerGrants counts the owner's granted miss records still alive.
 	// The partition is allocated as one atomic unit (§5.2): when a second
 	// miss of the owning thread piggybacks on the tenancy, the partition
@@ -266,6 +283,7 @@ func (t *TwoLevel) Predictor() *DoDPredictor { return t.pred }
 // discovered to miss in the L2 cache at cycle now. hist is the thread's
 // branch history for path-hashed prediction.
 func (t *TwoLevel) MissDetected(tid int, slot int32, pc, hist uint64, now int64) {
+	t.lastNow = now
 	t.stats.MissesObserved++
 	rec := missRecord{slot: slot, pc: pc, hist: hist, detectedAt: now, nextCheckAt: now}
 	if t.cfg.Scheme == Baseline || t.cfg.Scheme == SharedSingle {
@@ -341,6 +359,9 @@ func (t *TwoLevel) grantDone(tid int) {
 		t.ownerGrants = 0
 		t.owner = -1
 		t.stats.Releases++
+		if t.OnGrantReleased != nil {
+			t.OnGrantReleased(tid, t.lastNow)
+		}
 	}
 }
 
@@ -349,6 +370,7 @@ func (t *TwoLevel) grantDone(tid int) {
 // count (the quantity plotted in Figures 1/3/7) and ok=false if the load
 // was not being tracked.
 func (t *TwoLevel) MissServiced(tid int, slot int32, now int64) (dod int, ok bool) {
+	t.lastNow = now
 	recs := t.misses[tid]
 	for i := range recs {
 		if recs[i].slot != slot {
@@ -400,6 +422,7 @@ func (t *TwoLevel) EntrySquashed(tid int, slot int32) {
 // Tick runs the per-cycle scheme evaluation: reactive condition checks,
 // pending-allocation retries and second-level release.
 func (t *TwoLevel) Tick(now int64) {
+	t.lastNow = now
 	if t.owner >= 0 {
 		t.stats.OwnedCycles++
 	}
@@ -514,6 +537,9 @@ func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
 		rec.granted = true
 		t.ownerGrants++
 		t.stats.PiggybackGrants++
+		if t.OnGrantPiggyback != nil {
+			t.OnGrantPiggyback(tid, rec.pc, t.lastNow)
+		}
 		return
 	}
 	if t.owner != -1 {
@@ -525,6 +551,9 @@ func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
 	t.stats.Allocations++
 	rec.wantAlloc = false
 	rec.granted = true
+	if t.OnGrantAcquired != nil {
+		t.OnGrantAcquired(tid, rec.pc, t.lastNow)
+	}
 }
 
 // maybeRelease is a backstop: if the holder somehow has no tracked misses
@@ -534,9 +563,13 @@ func (t *TwoLevel) maybeRelease() {
 	if t.owner < 0 || len(t.misses[t.owner]) > 0 {
 		return
 	}
+	tid := t.owner
 	t.owner = -1
 	t.ownerGrants = 0
 	t.stats.Releases++
+	if t.OnGrantReleased != nil {
+		t.OnGrantReleased(tid, t.lastNow)
+	}
 }
 
 // OutstandingMisses returns how many L2-missing loads are tracked for tid.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -177,6 +178,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"simd_cache_entries", "gauge", st.Cache.Entries},
 	} {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", m.name, m.typ, m.name, m.value)
+	}
+	fmt.Fprintf(w, "# TYPE simd_dispatch_active_cycles_total counter\nsimd_dispatch_active_cycles_total %d\n", st.ActiveCycles)
+	fmt.Fprint(w, "# TYPE simd_stall_cycles_total counter\n")
+	causes := make([]string, 0, len(st.StallCycles))
+	for cause := range st.StallCycles {
+		causes = append(causes, cause)
+	}
+	sort.Strings(causes)
+	for _, cause := range causes {
+		fmt.Fprintf(w, "simd_stall_cycles_total{cause=%q} %d\n", cause, st.StallCycles[cause])
 	}
 }
 

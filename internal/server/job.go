@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -38,6 +39,9 @@ type Event struct {
 	Total          int     `json:"total,omitempty"`
 	FairThroughput float64 `json:"fair_throughput,omitempty"`
 	Error          string  `json:"error,omitempty"`
+	// Telemetry carries the finished mix's stall/occupancy digest on
+	// "mix" events (sweeps run with telemetry enabled).
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // Job is one queued or running simulation sweep.

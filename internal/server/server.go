@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -74,34 +75,14 @@ type keySpec struct {
 }
 
 // resolveScheme maps a spec's scheme name to an experiments SchemeSpec.
+// An empty name means the baseline machine; everything else is the
+// shared experiments.SchemeByName table.
 func resolveScheme(name string, threshold int) (experiments.SchemeSpec, error) {
-	th := func(def int) int {
-		if threshold > 0 {
-			return threshold
-		}
-		return def
-	}
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "", "baseline", "baseline32":
+	name = strings.TrimSpace(name)
+	if name == "" {
 		return experiments.Baseline32(), nil
-	case "baseline128":
-		return experiments.Baseline128(), nil
-	case "rrob":
-		return experiments.RROB(th(16)), nil
-	case "relaxed-rrob", "relaxed":
-		return experiments.RelaxedRROB(th(15)), nil
-	case "cdr-rrob", "cdr":
-		return experiments.CDRROB(th(15)), nil
-	case "prob":
-		return experiments.PROB(th(5)), nil
-	case "shared128", "shared":
-		return experiments.SchemeSpec{
-			Label: "Shared_128",
-			Opt:   tlrob.Options{Scheme: tlrob.SharedSingle, L1ROB: 32},
-		}, nil
-	default:
-		return experiments.SchemeSpec{}, fmt.Errorf("unknown scheme %q", name)
 	}
+	return experiments.SchemeByName(name, threshold)
 }
 
 // normalize validates the spec, fills defaults and resolves the scheme
@@ -191,6 +172,12 @@ type Stats struct {
 	SimSeconds  float64
 	Draining    bool
 	Cache       store.Stats
+
+	// StallCycles maps telemetry stall-cause names to thread-cycles
+	// charged, summed over every sweep this process ran; ActiveCycles is
+	// the matching dispatch-active total.
+	StallCycles  map[string]uint64
+	ActiveCycles uint64
 }
 
 // Server owns the queue, the workers and the job registry.
@@ -212,6 +199,11 @@ type Server struct {
 	submitted, coalesced, rejected            atomic.Uint64
 	completed, failed, canceled               atomic.Uint64
 	retries, simulations, cycles, simNanosSum atomic.Uint64
+
+	// Per-cause thread-cycle totals aggregated over every sweep this
+	// process ran, indexed by telemetry.Cause; exposed on /metrics.
+	stallCycles  [telemetry.NumCauses]atomic.Uint64
+	activeCycles atomic.Uint64
 
 	// simulate is swapped by tests to fault-inject transient errors.
 	simulate func(ctx context.Context, j *Job) (report.Series, int64, error)
@@ -435,15 +427,17 @@ func (s *Server) unregister(j *Job) {
 // job's event log.
 func (s *Server) runSweep(ctx context.Context, j *Job) (report.Series, int64, error) {
 	r := experiments.NewRunner(experiments.Params{
-		Budget:  j.Spec.Budget,
-		Seed:    j.Spec.Seed,
-		Workers: s.cfg.SimWorkers,
+		Budget:    j.Spec.Budget,
+		Seed:      j.Spec.Seed,
+		Workers:   s.cfg.SimWorkers,
+		Telemetry: true,
 	})
 	var completed atomic.Int64
 	r.OnProgress = func(p experiments.Progress) {
 		ev := Event{Type: p.Stage, Mix: p.Item, Total: p.Total, FairThroughput: p.FairThroughput}
 		if p.Stage == "mix" {
 			ev.Completed = int(completed.Add(1))
+			ev.Telemetry = p.Telemetry
 		}
 		j.emit(ev)
 	}
@@ -455,6 +449,13 @@ func (s *Server) runSweep(ctx context.Context, j *Job) (report.Series, int64, er
 	var cycles int64
 	for _, row := range series.Rows {
 		cycles += row.Result.Cycles
+		if sum := row.Result.Telemetry; sum != nil {
+			stalls, active := sum.StallTotals()
+			s.activeCycles.Add(active)
+			for c, n := range stalls {
+				s.stallCycles[c].Add(n)
+			}
+		}
 	}
 	return report.FromSeries(series, true), cycles, nil
 }
@@ -489,6 +490,10 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	stalls := make(map[string]uint64, int(telemetry.NumCauses)-1)
+	for c := telemetry.Cause(1); c < telemetry.NumCauses; c++ {
+		stalls[c.String()] = s.stallCycles[c].Load()
+	}
 	return Stats{
 		QueueDepth:  len(s.queue),
 		Inflight:    s.inflight.Load(),
@@ -501,8 +506,10 @@ func (s *Server) Stats() Stats {
 		Retries:     s.retries.Load(),
 		Simulations: s.simulations.Load(),
 		Cycles:      s.cycles.Load(),
-		SimSeconds:  float64(s.simNanosSum.Load()) / 1e9,
-		Draining:    draining,
-		Cache:       s.cfg.Store.Stats(),
+		SimSeconds:   float64(s.simNanosSum.Load()) / 1e9,
+		Draining:     draining,
+		Cache:        s.cfg.Store.Stats(),
+		StallCycles:  stalls,
+		ActiveCycles: s.activeCycles.Load(),
 	}
 }

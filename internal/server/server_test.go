@@ -501,3 +501,55 @@ func TestHTTPQueueFull429(t *testing.T) {
 		t.Fatalf("job 3: %d, want 429", code)
 	}
 }
+
+// TestSweepTelemetrySurfaces pins the telemetry contract: mix progress
+// events carry the run's stall/occupancy summary, the stored result
+// rows do too, and the per-cause cycle totals reach Stats (the /metrics
+// source).
+func TestSweepTelemetrySurfaces(t *testing.T) {
+	s := newTestServer(t, nil)
+	j, cached, err := s.Submit(tinySpec(), true)
+	if err != nil || cached != nil {
+		t.Fatalf("Submit: cached=%v err=%v", cached != nil, err)
+	}
+	events, cancel := j.Subscribe()
+	defer cancel()
+	waitDone(t, j)
+
+	var mixWithTelemetry bool
+	for ev := range events {
+		if ev.Type == "mix" && ev.Telemetry != nil {
+			mixWithTelemetry = true
+			if err := ev.Telemetry.CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !mixWithTelemetry {
+		t.Fatal("no mix event carried a telemetry summary")
+	}
+
+	data, ok := j.Result()
+	if !ok {
+		t.Fatalf("job ended %s", j.Status())
+	}
+	var series report.Series
+	if err := json.Unmarshal(data, &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Rows) == 0 || series.Rows[0].Telemetry == nil {
+		t.Fatal("stored result rows lost the telemetry summary")
+	}
+
+	st := s.Stats()
+	var total uint64
+	for _, v := range st.StallCycles {
+		total += v
+	}
+	if total == 0 || st.ActiveCycles == 0 {
+		t.Fatalf("Stats missing stall aggregation: stalls=%v active=%d", st.StallCycles, st.ActiveCycles)
+	}
+	if uint64(st.Cycles)*4 != total+st.ActiveCycles {
+		t.Fatalf("aggregated thread-cycles %d != 4 × %d run cycles", total+st.ActiveCycles, st.Cycles)
+	}
+}

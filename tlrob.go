@@ -29,6 +29,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/rob"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -88,6 +89,16 @@ type Options struct {
 	// Threads overrides the thread count for RunBenchmarks (RunMix always
 	// uses 4; RunSingle always 1).
 	Threads int
+
+	// Telemetry enables the internal/telemetry instrumentation layer:
+	// cycle-level stall attribution, sampled occupancy traces and
+	// second-level grant intervals. Results then carry a Summary (and
+	// the Raw result the full Collector, for Chrome-trace export).
+	// Disabled by default: the per-cycle overhead is then one nil check.
+	Telemetry bool
+	// TelemetrySampleInterval overrides the occupancy sample period in
+	// cycles (default 64; only meaningful with Telemetry set).
+	TelemetrySampleInterval int
 }
 
 func (o Options) filled(threads int) Options {
@@ -138,6 +149,11 @@ func (o Options) machineConfig() pipeline.Config {
 	if o.MSHRs != 0 {
 		cfg.Hier.MSHRs = o.MSHRs
 	}
+	if o.Telemetry {
+		cfg.Telemetry = &telemetry.Config{
+			SampleInterval: int64(o.TelemetrySampleInterval),
+		}
+	}
 	return cfg
 }
 
@@ -161,7 +177,11 @@ type MixResult struct {
 	Throughput     float64 // summed IPC
 	FairThroughput float64 // harmonic mean of weighted IPCs (FT, [7])
 	DoDMean        float64
-	Raw            pipeline.Result
+	// Telemetry is the run's stall-attribution and occupancy digest;
+	// nil unless Options.Telemetry was set. The full collector (for
+	// Chrome-trace export) is at Raw.Telemetry.
+	Telemetry *telemetry.Summary
+	Raw       pipeline.Result
 }
 
 // SingleResult reports a single-threaded run.
@@ -271,11 +291,12 @@ func RunBenchmarks(name string, benches []string, opt Options, singleIPC map[str
 	}
 
 	mr := MixResult{
-		Mix:     name,
-		Scheme:  o.Scheme.String(),
-		Cycles:  res.Cycles,
-		DoDMean: res.DoDHist.Mean(),
-		Raw:     res,
+		Mix:       name,
+		Scheme:    o.Scheme.String(),
+		Cycles:    res.Cycles,
+		DoDMean:   res.DoDHist.Mean(),
+		Telemetry: telemetrySummary(res),
+		Raw:       res,
 	}
 	weighted := make([]float64, len(benches))
 	for i, b := range benches {
@@ -326,11 +347,12 @@ func RunTraceFiles(paths []string, opt Options) (MixResult, error) {
 		return MixResult{}, err
 	}
 	mr := MixResult{
-		Mix:     "traces",
-		Scheme:  o.Scheme.String(),
-		Cycles:  res.Cycles,
-		DoDMean: res.DoDHist.Mean(),
-		Raw:     res,
+		Mix:       "traces",
+		Scheme:    o.Scheme.String(),
+		Cycles:    res.Cycles,
+		DoDMean:   res.DoDHist.Mean(),
+		Telemetry: telemetrySummary(res),
+		Raw:       res,
 	}
 	for i := range paths {
 		mr.Throughput += res.IPC[i]
@@ -341,6 +363,15 @@ func RunTraceFiles(paths []string, opt Options) (MixResult, error) {
 		})
 	}
 	return mr, nil
+}
+
+// telemetrySummary digests a run's collector, or nil when telemetry was
+// disabled.
+func telemetrySummary(res pipeline.Result) *telemetry.Summary {
+	if res.Telemetry == nil {
+		return nil
+	}
+	return res.Telemetry.Summary()
 }
 
 // RunMix simulates one of the paper's Table-2 mixes.
