@@ -1,0 +1,98 @@
+// Command tlrobvet is the repository's static-analysis gate: it runs
+// the stock `go vet` suite plus the four custom analyzers that enforce
+// the simulator's load-bearing invariants —
+//
+//	allocfree     //tlrob:allocfree regions contain no heap-allocating
+//	              constructs (the static half of the malloc-count tests)
+//	determinism   no wall clock or math/rand in sim-core packages; no
+//	              unsorted map iteration feeding output (cache keys and
+//	              golden files depend on bit-identical runs)
+//	exhaustcause  switches over telemetry.Cause / rob.Scheme cover every
+//	              member or panic, so active+stalls==cycles survives
+//	              enum growth
+//	ctxflow       context.Context is the first parameter and never a
+//	              struct field
+//
+// Usage:
+//
+//	go run ./cmd/tlrobvet [-novet] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// exit status is non-zero if go vet fails or any analyzer reports a
+// diagnostic. Suppress a finding with //tlrob:allow(reason) on the
+// flagged line or the line above; see docs/ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/exhaustcause"
+)
+
+var analyzers = []*analysis.Analyzer{
+	allocfree.Analyzer,
+	ctxflow.Analyzer,
+	determinism.Analyzer,
+	exhaustcause.Analyzer,
+}
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the stock go vet passes")
+	list := flag.Bool("list", false, "list the custom analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tlrobvet: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

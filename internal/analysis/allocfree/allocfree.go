@@ -1,0 +1,375 @@
+// Package allocfree enforces the //tlrob:allocfree directive: a tagged
+// function or statement must contain no construct that can heap-allocate.
+//
+// The simulator's per-cycle work — the pipeline stage walk, the ROB
+// DoD/commit paths, the telemetry record hooks — is proven
+// allocation-free dynamically by malloc-count tests. This analyzer is
+// the static half of that contract: it rejects the allocating
+// constructs at build time, so a regression is a compile-gate failure
+// instead of a benchmark delta three PRs later.
+//
+// Like the paper's degree-of-dependence check, the analysis is a cheap
+// conservative approximation: it flags constructs that MAY allocate
+// (append may be within capacity, a closure may be inlined and
+// stack-allocated) and relies on an explicit, reviewable
+// //tlrob:allow(reason) suppression where the code proves the
+// allocation cannot happen in steady state.
+//
+// Flagged inside a tagged region:
+//   - make, new, append
+//   - slice and map composite literals, &T{...}
+//   - function literals (closure capture)
+//   - map writes (insertion may grow buckets)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - interface boxing: passing, assigning, returning, or sending a
+//     concrete value where an interface is expected
+//   - any call into package fmt
+//   - go statements
+//
+// Arguments of panic(...) are exempt: a panicking path is cold and
+// terminal, so fmt.Sprintf inside a panic is fine (the ISSUE's
+// "fmt.* outside panic arguments").
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the allocfree pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "report constructs that may heap-allocate inside //tlrob:allocfree regions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		runFile(pass, file)
+	}
+	return nil
+}
+
+func runFile(pass *analysis.Pass, file *ast.File) {
+	// Function-level directives: the doc comment tags the whole body.
+	consumed := make(map[*ast.Comment]bool)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if analysis.IsDirective(c.Text, analysis.AllocFreeDirective) {
+				consumed[c] = true
+				if fd.Body != nil {
+					checkRegion(pass, file, fd.Body, signatureOf(pass, fd))
+				}
+			}
+		}
+	}
+	// Statement-level directives: the comment on the line above tags
+	// the statement (typically the per-cycle for loop).
+	for _, c := range analysis.DirectiveComments(file, analysis.AllocFreeDirective) {
+		if consumed[c] {
+			continue
+		}
+		line := pass.Fset.Position(c.Pos()).Line
+		stmt := analysis.StmtOnLineAfter(pass.Fset, file, line)
+		if stmt == nil {
+			pass.Reportf(c.Pos(), "misplaced %s directive: no function doc or following statement to attach to", analysis.AllocFreeDirective)
+			continue
+		}
+		checkRegion(pass, file, stmt, enclosingSignature(pass, file, stmt.Pos()))
+	}
+}
+
+// signatureOf returns fd's type-checked signature.
+func signatureOf(pass *analysis.Pass, fd *ast.FuncDecl) *types.Signature {
+	if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// enclosingSignature finds the signature of the innermost function
+// containing pos (for return-statement boxing checks in statement
+// regions).
+func enclosingSignature(pass *analysis.Pass, file *ast.File, pos token.Pos) *types.Signature {
+	var sig *types.Signature
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == nil || (pos >= n.Pos() && pos < n.End())
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			sig = signatureOf(pass, n)
+		case *ast.FuncLit:
+			if t, ok := pass.TypesInfo.Types[n]; ok {
+				if s, ok := t.Type.(*types.Signature); ok {
+					sig = s
+				}
+			}
+		}
+		return true
+	})
+	return sig
+}
+
+// checkRegion walks the tagged region reporting allocating constructs.
+// sigStack tracks the innermost function for return-boxing.
+func checkRegion(pass *analysis.Pass, file *ast.File, region ast.Node, sig *types.Signature) {
+	w := &walker{pass: pass, sigs: []*types.Signature{sig}}
+	w.walk(region)
+}
+
+type walker struct {
+	pass *analysis.Pass
+	sigs []*types.Signature
+}
+
+func (w *walker) sig() *types.Signature {
+	for i := len(w.sigs) - 1; i >= 0; i-- {
+		if w.sigs[i] != nil {
+			return w.sigs[i]
+		}
+	}
+	return nil
+}
+
+func (w *walker) walk(region ast.Node) {
+	ast.Inspect(region, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		return w.visit(n)
+	})
+}
+
+func (w *walker) visit(n ast.Node) bool {
+	info := w.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		w.pass.Reportf(n.Pos(), "function literal allocates a closure")
+		if t, ok := info.Types[n]; ok {
+			if s, ok := t.Type.(*types.Signature); ok {
+				// Walk the body under the literal's signature, then
+				// prune this subtree from the outer walk.
+				w.sigs = append(w.sigs, s)
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					if m == nil {
+						return true
+					}
+					return w.visit(m)
+				})
+				w.sigs = w.sigs[:len(w.sigs)-1]
+				return false
+			}
+		}
+		return true
+
+	case *ast.CallExpr:
+		return w.visitCall(n)
+
+	case *ast.CompositeLit:
+		switch info.TypeOf(n).Underlying().(type) {
+		case *types.Slice:
+			w.pass.Reportf(n.Pos(), "slice literal allocates")
+		case *types.Map:
+			w.pass.Reportf(n.Pos(), "map literal allocates")
+		}
+		return true
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				w.pass.Reportf(n.Pos(), "address of composite literal allocates")
+			}
+		}
+		return true
+
+	case *ast.GoStmt:
+		w.pass.Reportf(n.Pos(), "go statement allocates a goroutine")
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t, ok := info.Types[n]; ok && t.Value == nil && isString(t.Type) {
+				w.pass.Reportf(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if idx, ok := lhs.(*ast.IndexExpr); ok && isMap(info.TypeOf(idx.X)) {
+				w.pass.Reportf(lhs.Pos(), "map write may allocate (bucket growth)")
+			}
+		}
+		if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+			for i, rhs := range n.Rhs {
+				w.checkBox(rhs, info.TypeOf(n.Lhs[i]), "assignment")
+			}
+		}
+		return true
+
+	case *ast.IncDecStmt:
+		if idx, ok := n.X.(*ast.IndexExpr); ok && isMap(info.TypeOf(idx.X)) {
+			w.pass.Reportf(n.Pos(), "map write may allocate (bucket growth)")
+		}
+		return true
+
+	case *ast.SendStmt:
+		if ch, ok := info.TypeOf(n.Chan).Underlying().(*types.Chan); ok {
+			w.checkBox(n.Value, ch.Elem(), "channel send")
+		}
+		return true
+
+	case *ast.ReturnStmt:
+		sig := w.sig()
+		if sig == nil || len(n.Results) != sig.Results().Len() {
+			return true // naked return or comma-ok mismatch: skip
+		}
+		for i, res := range n.Results {
+			w.checkBox(res, sig.Results().At(i).Type(), "return")
+		}
+		return true
+	}
+	return true
+}
+
+func (w *walker) visitCall(call *ast.CallExpr) bool {
+	info := w.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return true
+	}
+	// Type conversion.
+	if tv.IsType() {
+		dst := tv.Type
+		if len(call.Args) == 1 {
+			src := info.TypeOf(call.Args[0])
+			switch {
+			case types.IsInterface(dst) && src != nil && !types.IsInterface(src):
+				w.pass.Reportf(call.Pos(), "conversion to interface %s boxes (heap-allocates)", types.TypeString(dst, nil))
+			case isString(dst) && (isByteSlice(src) || isRuneSlice(src)):
+				w.pass.Reportf(call.Pos(), "[]byte/[]rune to string conversion allocates")
+			case (isByteSlice(dst) || isRuneSlice(dst)) && isString(src):
+				w.pass.Reportf(call.Pos(), "string to []byte/[]rune conversion allocates")
+			}
+		}
+		return true
+	}
+	// Builtins.
+	if tv.IsBuiltin() {
+		switch builtinName(call.Fun) {
+		case "make":
+			w.pass.Reportf(call.Pos(), "make allocates")
+		case "new":
+			w.pass.Reportf(call.Pos(), "new allocates")
+		case "append":
+			w.pass.Reportf(call.Pos(), "append may grow its backing array (allocates)")
+		case "panic":
+			// Panic paths are cold and terminal: everything inside the
+			// argument (fmt.Sprintf, boxing into any) is exempt.
+			return false
+		}
+		return true
+	}
+	// Calls into fmt always allocate (formatting state + boxing).
+	if obj := calleeObject(info, call.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		w.pass.Reportf(call.Pos(), "call to fmt.%s allocates", obj.Name())
+		return true
+	}
+	// Interface boxing of arguments.
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		w.checkBox(arg, pt, "argument")
+	}
+	return true
+}
+
+// checkBox reports expr if it is a concrete (non-interface, non-nil)
+// value being converted to an interface destination.
+func (w *walker) checkBox(expr ast.Expr, dst types.Type, what string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil || types.IsInterface(tv.Type) {
+		return
+	}
+	w.pass.Reportf(expr.Pos(), "%s converts %s to %s (interface boxing allocates)",
+		what, types.TypeString(tv.Type, nil), types.TypeString(dst, nil))
+}
+
+func builtinName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.ParenExpr:
+		return builtinName(f.X)
+	}
+	return ""
+}
+
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[f]
+	case *ast.SelectorExpr:
+		return info.Uses[f.Sel]
+	case *ast.ParenExpr:
+		return calleeObject(info, f.X)
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isByteSlice(t types.Type) bool { return isSliceOf(t, types.Byte) }
+func isRuneSlice(t types.Type) bool { return isSliceOf(t, types.Rune) }
+
+func isSliceOf(t types.Type, kind types.BasicKind) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}

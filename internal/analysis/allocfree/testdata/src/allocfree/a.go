@@ -1,0 +1,91 @@
+// Fixture for the allocfree analyzer: function-level directives.
+package allocfree
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+//tlrob:allocfree
+func tagged(xs []int, n int) int {
+	s := make([]int, n) // want `make allocates`
+	xs = append(xs, 1)  // want `append may grow`
+	m := map[int]int{}  // want `map literal allocates`
+	m[1] = 2            // want `map write may allocate`
+	m[2]++              // want `map write may allocate`
+	f := func() {}      // want `function literal allocates a closure`
+	f()
+	p := new(int) // want `new allocates`
+	q := &pair{}  // want `address of composite literal allocates`
+	_ = []int{1}  // want `slice literal allocates`
+	var sink any
+	sink = n // want `assignment converts int`
+	_ = sink
+	fmt.Println(n) // want `call to fmt.Println allocates`
+	go f()         // want `go statement allocates`
+	_ = p
+	_ = q
+	return len(s) + len(xs)
+}
+
+// untagged is identical but carries no directive: nothing is reported.
+func untagged(xs []int, n int) int {
+	s := make([]int, n)
+	xs = append(xs, 1)
+	fmt.Println(n)
+	return len(s) + len(xs)
+}
+
+//tlrob:allocfree
+func strOps(a, b string, bs []byte) string {
+	s := a + b     // want `string concatenation allocates`
+	_ = []byte(a)  // want `string to \[\]byte/\[\]rune conversion allocates`
+	_ = string(bs) // want `\[\]byte/\[\]rune to string conversion allocates`
+	return s
+}
+
+//tlrob:allocfree
+func retBox(n int) any {
+	return n // want `return converts int`
+}
+
+//tlrob:allocfree
+func sendBox(ch chan any, n int) {
+	ch <- n // want `channel send converts int`
+}
+
+func varArgs(vs ...any) int { return len(vs) }
+
+//tlrob:allocfree
+func callsVariadic(n int) int {
+	return varArgs(n, "x") // want `argument converts int` `argument converts string`
+}
+
+//tlrob:allocfree
+func spread(vs []any) int {
+	return varArgs(vs...) // passing the slice through boxes nothing
+}
+
+//tlrob:allocfree
+func explicitIface(n int) any {
+	return any(n) // want `conversion to interface`
+}
+
+// panicPath: everything inside a panic argument is exempt — a
+// panicking path is cold and terminal.
+//
+//tlrob:allocfree
+func panicPath(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n: %d", n))
+	}
+	return n
+}
+
+// suppressed: //tlrob:allow silences the finding on the next line.
+//
+//tlrob:allocfree
+func suppressed(xs []int) []int {
+	//tlrob:allow(caller preallocates capacity; proven by BenchmarkX)
+	xs = append(xs, 1)
+	return xs
+}

@@ -1,0 +1,28 @@
+// Fixture for the allocfree analyzer: statement-level (block)
+// directives and misplaced directives.
+package allocfree
+
+// blockTagged tags only the loop: the appends before and after the
+// region are fine, the one inside is not.
+func blockTagged(xs []int) []int {
+	xs = append(xs, 0) // outside the region: not reported
+	//tlrob:allocfree
+	for i := 0; i < 3; i++ {
+		xs = append(xs, i) // want `append may grow`
+	}
+	xs = append(xs, 4) // outside the region: not reported
+	return xs
+}
+
+// nestedRegion tags an if statement; the whole subtree is covered.
+func nestedRegion(m map[int]int, on bool) {
+	//tlrob:allocfree
+	if on {
+		for i := 0; i < 2; i++ {
+			m[i] = i // want `map write may allocate`
+		}
+	}
+}
+
+//tlrob:allocfree // want `misplaced`
+var dangling int

@@ -1,0 +1,224 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A line that
+// should be flagged carries a trailing comment
+//
+//	x := make([]int, n) // want `make allocates`
+//
+// holding one or more Go-quoted regular expressions, each of which
+// must match a distinct diagnostic reported on that line; diagnostics
+// without a matching expectation (and expectations without a matching
+// diagnostic) fail the test. Suppression is honored: a line covered by
+// //tlrob:allow produces no diagnostics and therefore needs no want.
+//
+// Fixture imports resolve against sibling fixture packages first, then
+// against the real build (standard library and module packages) via gc
+// export data, so fixtures may import "context" or define a stand-in
+// "telemetry" package as needed.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package beneath dir (its testdata root) and
+// applies the analyzer, comparing diagnostics with want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// TestData returns the caller package's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: no caller information")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+type loader struct {
+	fset *token.FileSet
+	root string // <dir>/src
+	std  types.Importer
+	pkgs map[string]*analysis.Package
+	mark map[string]bool // import-cycle guard
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		root: filepath.Join(dir, "src"),
+		std:  analysis.NewImporter(fset, ".", nil),
+		pkgs: make(map[string]*analysis.Package),
+		mark: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over fixtures-then-real-build.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.mark[path] {
+		return nil, errImportCycle(path)
+	}
+	l.mark[path] = true
+	defer delete(l.mark, path)
+
+	dir := filepath.Join(l.root, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &analysis.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type errImportCycle string
+
+func (e errImportCycle) Error() string { return "import cycle through fixture " + string(e) }
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re  *regexp.Regexp
+	pos token.Position
+	hit bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// check matches diagnostics against want comments in the package.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %q: %v", pos, rest, err)
+						break
+					}
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: unquoting %q: %v", pos, q, err)
+						break
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
+						break
+					}
+					wants[key] = append(wants[key], &expectation{re: re, pos: pos})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package ctxflow locks in the context discipline PR 2 plumbed through
+// the experiment runner and the service layer: context.Context flows
+// down call chains as the first parameter and is never stored in a
+// struct field.
+//
+// Storing a context detaches cancellation from the call tree — the
+// field outlives the request that created it, deadlines stop
+// propagating, and the last-waiter-disconnect cancellation the server
+// relies on silently breaks. The two idiomatic exceptions in this
+// repo (a queued Job carrying its request context like http.Request,
+// and the server's base context) are annotated with
+// //tlrob:allow(...) at the field site — every new occurrence needs
+// the same explicit, reviewable justification.
+//
+// Rules, applied to every function, method, interface method, and
+// func-typed declaration:
+//   - a context.Context parameter must be the first parameter;
+//   - at most one context.Context parameter;
+//   - no struct field of type context.Context.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context must be the first parameter and never live in a struct field",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkParams(pass, n)
+			case *ast.StructType:
+				checkFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isCtx(pass *analysis.Pass, e ast.Expr) bool {
+	return analysis.IsNamedType(pass.TypesInfo.TypeOf(e), "context", "Context")
+}
+
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0     // flattened parameter index
+	ctxSeen := 0 // context.Context parameters so far
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isCtx(pass, field.Type) {
+			if idx > 0 && ctxSeen == 0 {
+				pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+			}
+			ctxSeen += n
+			if ctxSeen > 1 {
+				pass.Reportf(field.Pos(), "multiple context.Context parameters")
+			}
+		}
+		idx += n
+	}
+}
+
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if isCtx(pass, field.Type) {
+			pass.Reportf(field.Pos(), "do not store context.Context in a struct field: pass it as the first argument down the call chain")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Fixture for the ctxflow analyzer.
+package ctxuse
+
+import "context"
+
+func good(ctx context.Context, n int) int { return n }
+
+func bad(n int, ctx context.Context) { // want `must be the first parameter`
+	_ = ctx
+}
+
+func multi(ctx, ctx2 context.Context) { // want `multiple context.Context parameters`
+	_ = ctx
+	_ = ctx2
+}
+
+func unnamedLate(int, context.Context) {} // want `must be the first parameter`
+
+type holder struct {
+	ctx context.Context // want `do not store context.Context`
+	n   int
+}
+
+type okHolder struct {
+	cancel context.CancelFunc // CancelFunc is fine: it detaches nothing
+	n      int
+}
+
+type iface interface {
+	Do(n int, ctx context.Context) error // want `must be the first parameter`
+	Fine(ctx context.Context, n int) error
+}
+
+var callback func(n int, ctx context.Context) // want `must be the first parameter`
+
+func literals() {
+	f := func(n int, ctx context.Context) { _ = ctx } // want `must be the first parameter`
+	f(0, context.Background())
+}
+
+// carrier: the documented exception — a request object carrying its
+// context, justified at the field site.
+type carrier struct {
+	//tlrob:allow(request carrier, the http.Request pattern)
+	ctx context.Context
+}
+
+func (c carrier) Context() context.Context { return c.ctx }

@@ -1,0 +1,267 @@
+// Package determinism enforces the bit-identical-replay contract the
+// simulator's result cache and golden tests depend on: the same
+// (scheme, mix, budget, seed) tuple must produce the same bytes on
+// every run, because internal/store keys results by a canonical-JSON
+// SHA-256 and the NDJSON/metrics tests compare golden output.
+//
+// Three rules:
+//
+//  1. In sim-core packages (pipeline, rob, iq, lsq, regfile, fu,
+//     predictor, policy, experiments), non-test files must not call
+//     time.Now / time.Since / time.Until — simulated time is the only
+//     clock a deterministic simulator may read.
+//  2. The same files must not import math/rand (or math/rand/v2):
+//     randomness must come from internal/rng, whose seed is part of
+//     the cache key.
+//  3. Module-wide: a `range` over a map whose body accumulates
+//     elements into an outer slice, or writes to an encoder/writer,
+//     is flagged unless the accumulated slice is sorted after the
+//     loop — Go's randomized map iteration order otherwise leaks
+//     straight into cache keys and golden output.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock and global randomness in sim-core packages and unsorted map iteration feeding output anywhere",
+	Run:  run,
+}
+
+// simCore names the packages (by final import-path segment) whose
+// output must be bit-identical across runs.
+var simCore = map[string]bool{
+	"pipeline": true, "rob": true, "iq": true, "lsq": true,
+	"regfile": true, "fu": true, "predictor": true, "policy": true,
+	"experiments": true,
+}
+
+// writerMethods are method names whose call inside a map range means
+// output is being produced in iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// printerFuncs are package-level printing functions with the same
+// effect (matched when defined in fmt or log).
+var printerFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) error {
+	core := simCore[lastSegment(pass.Pkg.Path())]
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		if core {
+			checkClockAndRand(pass, file)
+		}
+		checkMapRanges(pass, file)
+	}
+	return nil
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// checkClockAndRand flags time.Now/Since/Until uses and math/rand
+// imports in sim-core files.
+func checkClockAndRand(pass *analysis.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(), "sim-core package imports %s: use internal/rng so the stream is seed-stable and part of the cache key", path)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return true
+		}
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(), "sim-core package reads the wall clock (time.%s): simulated cycles are the only deterministic clock", obj.Name())
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags nondeterministic-ordering map iterations.
+func checkMapRanges(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		checkFuncMapRanges(pass, fd)
+	}
+}
+
+func checkFuncMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(rng.X); t == nil || !isMap(t) {
+			return true
+		}
+		// Effects of the loop body.
+		var accumulated []types.Object
+		seen := make(map[types.Object]bool)
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if name, isWriter := writerCall(info, m); isWriter {
+					pass.Reportf(rng.Pos(), "map iteration order is nondeterministic: loop body writes output via %s; iterate sorted keys instead", name)
+					return true
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range m.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || builtinName(info, call) != "append" || i >= len(m.Lhs) {
+						continue
+					}
+					obj := assignedObject(info, m.Lhs[i])
+					if obj == nil || seen[obj] {
+						continue
+					}
+					// Accumulation into a variable that outlives the
+					// loop: declared before the range statement.
+					if obj.Pos() < rng.Pos() {
+						seen[obj] = true
+						accumulated = append(accumulated, obj)
+					}
+				}
+			}
+			return true
+		})
+		for _, obj := range accumulated {
+			if !sortedAfter(info, fd.Body, rng, obj) {
+				pass.Reportf(rng.Pos(), "map iteration order is nondeterministic: %s is accumulated across the loop without a dominating sort; sort it before use", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// writerCall reports whether call emits output (encoder/writer method
+// or fmt/log printer) and names it for the diagnostic.
+func writerCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return "", false
+	}
+	if info.Selections[sel] != nil { // method call
+		if writerMethods[obj.Name()] {
+			return obj.Name(), true
+		}
+		return "", false
+	}
+	if pkg := obj.Pkg(); pkg != nil && (pkg.Path() == "fmt" || pkg.Path() == "log") && printerFuncs[obj.Name()] {
+		return pkg.Name() + "." + obj.Name(), true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call positioned after the range statement in the same function.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rng.End() {
+			// Still descend: a later call may be nested in an earlier block.
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := info.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func refersTo(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func assignedObject(info *types.Info, lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[lhs]; obj != nil {
+			return obj
+		}
+		return info.Defs[lhs]
+	case *ast.SelectorExpr:
+		return info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isB := info.Uses[id].(*types.Builtin); !isB {
+		return ""
+	}
+	return id.Name
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

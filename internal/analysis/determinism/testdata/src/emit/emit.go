@@ -1,0 +1,99 @@
+// Fixture: the map-iteration-order rule applies module-wide — any
+// package emitting output or accumulating slices from a map range.
+package emit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// unsortedKeys leaks iteration order into the returned slice.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `without a dominating sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the canonical fix: collect, sort, use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceKeys: sort.Slice also dominates the use.
+func sortSliceKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// fprint writes output in iteration order.
+func fprint(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `writes output via fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// builder: writer-method calls count as output too.
+func builder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `writes output via WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// rebuild: constructing another map is order-independent.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// reduce: scalar accumulation is order-independent.
+func reduce(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// localAppend: the slice is born inside the loop body, so no
+// cross-iteration order leaks out.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// clockOK: this package is not sim-core, so the wall clock is allowed.
+func clockOK() time.Time { return time.Now() }
+
+// suppressed: the caller sorts; reviewed and waived.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//tlrob:allow(single caller sorts the result before emitting)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,20 @@
+// Fixture: a sim-core package (final path segment "pipeline") must not
+// read the wall clock or import math/rand.
+package pipeline
+
+import (
+	"math/rand" // want `use internal/rng`
+	"time"
+)
+
+func stamp() int64 {
+	t := time.Now()   // want `wall clock \(time.Now\)`
+	_ = time.Since(t) // want `wall clock \(time.Since\)`
+	_ = time.Until(t) // want `wall clock \(time.Until\)`
+	return rand.Int63()
+}
+
+// sleepOK: time functions that do not read the clock are fine.
+func sleepOK() {
+	time.Sleep(0)
+}

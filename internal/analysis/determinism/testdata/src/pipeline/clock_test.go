@@ -1,0 +1,6 @@
+// Test files are exempt: benchmarks and tests may time themselves.
+package pipeline
+
+import "time"
+
+func nowInTest() time.Time { return time.Now() }

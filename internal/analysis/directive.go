@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comments recognized by the suite. They follow the Go
+// directive-comment convention (no space after //), so gofmt leaves
+// them alone and godoc hides them.
+const (
+	// AllocFreeDirective marks a function (in its doc comment) or a
+	// statement (comment on the preceding line) whose execution must
+	// not allocate. Enforced by the allocfree analyzer.
+	AllocFreeDirective = "//tlrob:allocfree"
+	// AllowDirective suppresses all diagnostics on its own line and
+	// the next line. A parenthesized reason is required by convention:
+	// //tlrob:allow(cold error path).
+	AllowDirective = "//tlrob:allow"
+)
+
+// HasDirective reports whether the comment group contains a comment
+// whose text is exactly the directive (ignoring any parenthesized or
+// space-separated suffix).
+func HasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if IsDirective(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirective reports whether the comment text is the given directive,
+// alone or followed by a space or '(' suffix.
+func IsDirective(text, directive string) bool {
+	if !strings.HasPrefix(text, directive) {
+		return false
+	}
+	rest := text[len(directive):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '(' || rest[0] == '\t'
+}
+
+// DirectiveComments returns every comment in the file matching the
+// directive, in position order.
+func DirectiveComments(f *ast.File, directive string) []*ast.Comment {
+	var out []*ast.Comment
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if IsDirective(c.Text, directive) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// StmtOnLineAfter finds the outermost statement in f that starts on the
+// line immediately following line (the usual position of a statement
+// annotated by a directive comment on its own line). Returns nil if no
+// statement starts there.
+func StmtOnLineAfter(fset *token.FileSet, f *ast.File, line int) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		if fset.Position(s.Pos()).Line == line+1 {
+			found = s
+			return false
+		}
+		return true
+	})
+	return found
+}

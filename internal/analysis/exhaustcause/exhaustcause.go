@@ -1,0 +1,161 @@
+// Package exhaustcause enforces exhaustive handling of the simulator's
+// closed enums: telemetry.Cause (the stall-attribution vocabulary) and
+// rob.Scheme (the second-level allocation policies).
+//
+// The telemetry accounting invariant — every thread-cycle is
+// dispatch-active or charged to exactly one Cause, so
+// active+stalls==cycles — survives the addition of a ninth cause only
+// if every switch over the enum either names all members or panics in
+// its default clause. The same holds for Scheme: a new scheme that
+// silently falls through a switch runs with the wrong allocation
+// policy instead of failing loudly.
+//
+// A switch over one of these enums must therefore either cover every
+// member (sentinels like NumCauses/numSchemes are excluded) or carry a
+// default clause that panics.
+package exhaustcause
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the exhaustcause pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustcause",
+	Doc:  "switches over telemetry.Cause and rob.Scheme must cover every member or panic in default",
+	Run:  run,
+}
+
+// enums lists the guarded enum types as (package-path-suffix, type
+// name) pairs; suffix matching lets testdata fixtures stand in for the
+// real packages.
+var enums = [...]struct{ pkg, typ string }{
+	{"telemetry", "Cause"},
+	{"rob", "Scheme"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	var named *types.Named
+	for _, e := range enums {
+		if analysis.IsNamedType(tagType, e.pkg, e.typ) {
+			named = analysis.Named(tagType)
+			break
+		}
+	}
+	if named == nil {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) == 0 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	hasPanickingDefault := false
+	hasSilentDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil { // default clause
+			if panics(pass, cc) {
+				hasPanickingDefault = true
+			} else {
+				hasSilentDefault = true
+			}
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	if hasPanickingDefault {
+		return
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	what := "add the missing cases or a panicking default"
+	if hasSilentDefault {
+		what = "the silent default hides them: add the cases or make the default panic"
+	}
+	pass.Reportf(sw.Pos(), "switch on %s.%s is not exhaustive: missing %s; %s",
+		named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "), what)
+}
+
+type member struct {
+	name string
+	val  string // exact constant representation
+}
+
+// enumMembers collects the package-level constants of the named type,
+// excluding count sentinels (names beginning with "num").
+func enumMembers(named *types.Named) []member {
+	scope := named.Obj().Pkg().Scope()
+	var out []member
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(types.Unalias(c.Type()), named) {
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(name), "num") {
+			continue
+		}
+		out = append(out, member{name: name, val: exact(c.Val())})
+	}
+	return out
+}
+
+func exact(v constant.Value) string { return v.ExactString() }
+
+// panics reports whether the clause body contains a call to the panic
+// builtin (directly or nested, e.g. under a final if).
+func panics(pass *analysis.Pass, cc *ast.CaseClause) bool {
+	found := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return !found
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB && id.Name == "panic" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

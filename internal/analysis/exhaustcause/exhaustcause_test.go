@@ -1,0 +1,12 @@
+package exhaustcause_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/exhaustcause"
+)
+
+func TestExhaustCause(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), exhaustcause.Analyzer, "stalls", "rob")
+}

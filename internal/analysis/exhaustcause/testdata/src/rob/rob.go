@@ -1,0 +1,33 @@
+// Fixture stand-in for repro/internal/rob: the Scheme enum with an
+// unexported sentinel, switched over in its own package.
+package rob
+
+type Scheme uint8
+
+const (
+	Baseline Scheme = iota
+	Reactive
+	Predictive
+	numSchemes // sentinel: excluded from exhaustiveness
+)
+
+func missing(s Scheme) int {
+	switch s { // want `missing Predictive, Reactive`
+	case Baseline:
+		return 0
+	}
+	return 1
+}
+
+// full covers every member; the sentinel is not required.
+func full(s Scheme) int {
+	switch s {
+	case Baseline:
+		return 0
+	case Reactive:
+		return 1
+	case Predictive:
+		return 2
+	}
+	return 3
+}

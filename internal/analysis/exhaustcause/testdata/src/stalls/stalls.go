@@ -1,0 +1,71 @@
+// Fixture: switches over telemetry.Cause in a consuming package.
+package stalls
+
+import "telemetry"
+
+func missing(c telemetry.Cause) string {
+	switch c { // want `missing CauseIQFull`
+	case telemetry.CauseNone:
+		return "none"
+	case telemetry.CauseROBFull:
+		return "rob"
+	}
+	return ""
+}
+
+func exhaustive(c telemetry.Cause) string {
+	switch c {
+	case telemetry.CauseNone, telemetry.CauseROBFull:
+		return "a"
+	case telemetry.CauseIQFull:
+		return "iq"
+	}
+	return ""
+}
+
+func panickingDefault(c telemetry.Cause) string {
+	switch c {
+	case telemetry.CauseNone:
+		return "none"
+	default:
+		panic("telemetry: unhandled cause")
+	}
+}
+
+func silentDefault(c telemetry.Cause) string {
+	switch c { // want `silent default`
+	case telemetry.CauseNone:
+		return "none"
+	default:
+		return "?"
+	}
+}
+
+// otherSwitch: switches over unrelated types are ignored.
+func otherSwitch(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return "other"
+}
+
+// untagged: a switch with no tag is a condition chain, not an enum
+// dispatch; ignored.
+func untagged(c telemetry.Cause) string {
+	switch {
+	case c == telemetry.CauseNone:
+		return "none"
+	}
+	return "other"
+}
+
+// suppressed: reviewed and waived.
+func suppressed(c telemetry.Cause) string {
+	//tlrob:allow(only reachable with CauseNone by construction)
+	switch c {
+	case telemetry.CauseNone:
+		return "none"
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+// Fixture stand-in for repro/internal/telemetry: a closed Cause enum
+// with a count sentinel.
+package telemetry
+
+type Cause uint8
+
+const (
+	CauseNone Cause = iota
+	CauseROBFull
+	CauseIQFull
+	NumCauses // sentinel: excluded from exhaustiveness
+)

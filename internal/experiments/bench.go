@@ -114,8 +114,10 @@ func RunBench(p BenchParams) (BenchReport, error) {
 			}
 			runtime.GC()
 			runtime.ReadMemStats(&ms0)
+			//tlrob:allow(bench measures host wall time; simulated results stay seed-deterministic)
 			start := time.Now()
 			res, err := tlrob.RunMix(mix, opt, singles)
+			//tlrob:allow(bench measures host wall time; simulated results stay seed-deterministic)
 			wall := time.Since(start)
 			runtime.ReadMemStats(&ms1)
 			if err != nil {

@@ -276,6 +276,7 @@ func (c *CPU) Run(budget uint64) (Result, error) {
 			maxCycles = 1_000_000
 		}
 	}
+	//tlrob:allocfree (the per-cycle loop: every iteration is one simulated cycle)
 	for {
 		c.writeback()
 		if done := c.commit(budget); done {
@@ -292,6 +293,7 @@ func (c *CPU) Run(budget uint64) (Result, error) {
 		c.fetch()
 		c.now++
 		if c.now >= maxCycles {
+			//tlrob:allow(cold: terminal error path, runs at most once per simulation)
 			return Result{}, fmt.Errorf("pipeline: no thread reached %d commits within %d cycles (deadlock or budget too large)", budget, maxCycles)
 		}
 	}
@@ -341,6 +343,8 @@ func (c *CPU) result() Result {
 // never reached are classified here, then the occupancy snapshot is
 // taken and the cycle committed to the collector. Runs only when
 // telemetry is enabled.
+//
+//tlrob:allocfree
 func (c *CPU) recordTelemetry() {
 	st := c.telState
 	for t := range c.threads {
@@ -370,6 +374,8 @@ func (c *CPU) recordTelemetry() {
 }
 
 // buildSnapshots refreshes the per-thread state the policy decides from.
+//
+//tlrob:allocfree
 func (c *CPU) buildSnapshots() {
 	for t := range c.threads {
 		th := &c.threads[t]

@@ -208,6 +208,7 @@ func (c *CPU) fetchThread(tid int, th *thread, limit int) int {
 
 // ---- dispatch ----
 
+//tlrob:allocfree
 func (c *CPU) dispatch() {
 	budget := c.cfg.DispatchWidth
 	n := c.cfg.Threads
@@ -252,6 +253,8 @@ func (c *CPU) dispatch() {
 // held elsewhere (or not yet granted) is waiting on a grant — the cycles
 // the two-level schemes exist to reclaim; every other refusal is plain
 // ROB pressure.
+//
+//tlrob:allocfree
 func (c *CPU) robStallCause(tid int, th *thread) telemetry.Cause {
 	s := c.cfg.ROB.Scheme
 	if s != rob.Baseline && s != rob.SharedSingle &&
@@ -264,6 +267,8 @@ func (c *CPU) robStallCause(tid int, th *thread) telemetry.Cause {
 // dispatchOne renames and inserts one instruction. It returns CauseNone
 // on success; any other cause means that resource was unavailable and
 // the thread must stall this cycle.
+//
+//tlrob:allocfree
 func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) telemetry.Cause {
 	inst := &fe.inst
 	if !c.rob.CanDispatch(tid) {
@@ -370,6 +375,7 @@ func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) telemetry.Cause {
 
 // ---- issue ----
 
+//tlrob:allocfree
 func (c *CPU) issue() {
 	c.readyBuf = c.iq.CollectReady(c.readyBuf)
 	issued := 0
@@ -455,6 +461,7 @@ func (c *CPU) execLatency(tid int, u *uop.UOp, forward bool) int64 {
 
 // ---- writeback ----
 
+//tlrob:allocfree
 func (c *CPU) writeback() {
 	for c.events.len() > 0 && c.events.peekAt() <= c.now {
 		ev := c.events.pop()
@@ -719,6 +726,8 @@ func (c *CPU) squash(tid int, targetSeq uint64) {
 
 // commit retires up to CommitWidth executed instructions across threads in
 // program order per thread; returns true when a thread reaches its budget.
+//
+//tlrob:allocfree
 func (c *CPU) commit(budget uint64) bool {
 	remaining := c.cfg.CommitWidth
 	n := c.cfg.Threads
@@ -747,6 +756,7 @@ func (c *CPU) commit(budget uint64) bool {
 	return done
 }
 
+//tlrob:allocfree
 func (c *CPU) commitOne(tid int, th *thread, u *uop.UOp) {
 	if c.CommitHook != nil {
 		c.CommitHook(tid, u)

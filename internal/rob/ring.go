@@ -57,6 +57,8 @@ func (r *Ring) Len() int { return int(r.count) }
 func (r *Ring) Cap() int { return int(r.capacity) }
 
 // bitAdd adds d to the Fenwick leaf for a physical slot.
+//
+//tlrob:allocfree
 func (r *Ring) bitAdd(slot, d int32) {
 	for i := slot + 1; i <= r.capacity; i += i & -i {
 		r.unexecBit[i] += d
@@ -64,6 +66,8 @@ func (r *Ring) bitAdd(slot, d int32) {
 }
 
 // bitPrefix sums the Fenwick leaves for physical slots [0, slot].
+//
+//tlrob:allocfree
 func (r *Ring) bitPrefix(slot int32) int32 {
 	s := int32(0)
 	for i := slot + 1; i > 0; i -= i & -i {
@@ -73,6 +77,8 @@ func (r *Ring) bitPrefix(slot int32) int32 {
 }
 
 // bitRange sums the leaves for physical slots [a, b] (a <= b).
+//
+//tlrob:allocfree
 func (r *Ring) bitRange(a, b int32) int32 {
 	if a == 0 {
 		return r.bitPrefix(b)
@@ -96,6 +102,8 @@ func (r *Ring) wrap(x int32) int32 {
 // Push appends a zeroed entry at the tail and returns (slot, pointer) for
 // the caller to fill. It panics on physical overflow — effective-capacity
 // checks belong to the caller.
+//
+//tlrob:allocfree
 func (r *Ring) Push() (int32, *uop.UOp) {
 	if r.count == r.capacity {
 		panic("rob: ring overflow")
@@ -113,6 +121,8 @@ func (r *Ring) Push() (int32, *uop.UOp) {
 // MarkExecuted sets the entry's "result valid" bit. Execution status must
 // flow through here (not a direct field write) so the incremental DoD
 // counter stays in sync with the window contents.
+//
+//tlrob:allocfree
 func (r *Ring) MarkExecuted(slot int32) {
 	e := &r.entries[slot]
 	if counted(e) {
@@ -125,6 +135,8 @@ func (r *Ring) MarkExecuted(slot int32) {
 // MarkSquashed flags the entry as squashed; like MarkExecuted it keeps the
 // incremental DoD counter consistent and must be used instead of writing
 // the field. The entry itself stays live until popped.
+//
+//tlrob:allocfree
 func (r *Ring) MarkSquashed(slot int32) {
 	e := &r.entries[slot]
 	if counted(e) {
@@ -167,6 +179,8 @@ func (r *Ring) Head() *uop.UOp {
 }
 
 // PopHead removes the oldest entry (commit).
+//
+//tlrob:allocfree
 func (r *Ring) PopHead() {
 	if r.count == 0 {
 		panic("rob: pop from empty ring")
@@ -188,6 +202,8 @@ func (r *Ring) Tail() *uop.UOp {
 }
 
 // PopTail removes the youngest entry (squash walk).
+//
+//tlrob:allocfree
 func (r *Ring) PopTail() {
 	if r.count == 0 {
 		panic("rob: pop from empty ring")

@@ -282,6 +282,8 @@ func (t *TwoLevel) Predictor() *DoDPredictor { return t.pred }
 // MissDetected informs the manager that the load in (tid, slot) has been
 // discovered to miss in the L2 cache at cycle now. hist is the thread's
 // branch history for path-hashed prediction.
+//
+//tlrob:allocfree
 func (t *TwoLevel) MissDetected(tid int, slot int32, pc, hist uint64, now int64) {
 	t.lastNow = now
 	t.stats.MissesObserved++
@@ -312,6 +314,7 @@ func (t *TwoLevel) MissDetected(tid int, slot int32, pc, hist uint64, now int64)
 			t.stats.DeniedDoD++
 		}
 	}
+	//tlrob:allow(amortized: bounded by in-flight L2 misses, reaches steady-state capacity; malloc-count tests pin the steady state)
 	t.misses[tid] = append(t.misses[tid], rec)
 	if !rec.decided {
 		t.undecided++
@@ -332,6 +335,8 @@ func (t *TwoLevel) MissDetected(tid int, slot int32, pc, hist uint64, now int64)
 // removeMissAt deletes record i of tid's tracked misses, preserving order
 // (arbitration fairness depends on record age) without allocating, and
 // returns the removed record.
+//
+//tlrob:allocfree
 func (t *TwoLevel) removeMissAt(tid, i int) missRecord {
 	recs := t.misses[tid]
 	rec := recs[i]
@@ -350,6 +355,8 @@ func (t *TwoLevel) removeMissAt(tid, i int) missRecord {
 
 // grantDone retires one granted miss of tid; the partition is released
 // only when the owner's last granted miss is gone (§5.2's atomic unit).
+//
+//tlrob:allocfree
 func (t *TwoLevel) grantDone(tid int) {
 	if t.owner != tid {
 		return
@@ -369,6 +376,8 @@ func (t *TwoLevel) grantDone(tid int) {
 // data available at cycle now. It returns the service-time approximate DoD
 // count (the quantity plotted in Figures 1/3/7) and ok=false if the load
 // was not being tracked.
+//
+//tlrob:allocfree
 func (t *TwoLevel) MissServiced(tid int, slot int32, now int64) (dod int, ok bool) {
 	t.lastNow = now
 	recs := t.misses[tid]
@@ -406,6 +415,8 @@ func (t *TwoLevel) MissServiced(tid int, slot int32, now int64) (dod int, ok boo
 // EntrySquashed drops any miss record attached to (tid, slot); call it for
 // every squashed entry during a branch-misprediction walk. Squashing the
 // granting miss releases the partition.
+//
+//tlrob:allocfree
 func (t *TwoLevel) EntrySquashed(tid int, slot int32) {
 	for i := 0; i < len(t.misses[tid]); {
 		if t.misses[tid][i].slot != slot {
@@ -421,6 +432,8 @@ func (t *TwoLevel) EntrySquashed(tid int, slot int32) {
 
 // Tick runs the per-cycle scheme evaluation: reactive condition checks,
 // pending-allocation retries and second-level release.
+//
+//tlrob:allocfree
 func (t *TwoLevel) Tick(now int64) {
 	t.lastNow = now
 	if t.owner >= 0 {
@@ -496,6 +509,8 @@ func (t *TwoLevel) Tick(now int64) {
 }
 
 // evaluate runs one reactive-condition check for a tracked miss.
+//
+//tlrob:allocfree
 func (t *TwoLevel) evaluate(tid int, rec *missRecord, now int64) {
 	ring := t.rings[tid]
 	switch t.cfg.Scheme {
@@ -511,6 +526,13 @@ func (t *TwoLevel) evaluate(tid int, rec *missRecord, now int64) {
 		}
 	case CountDelayedReactive:
 		// Delay already encoded in nextCheckAt; no structural conditions.
+	case Baseline, Predictive, SharedSingle:
+		// Misses are only tracked (and evaluate reached) under the
+		// reactive schemes; Predictive decides at MissDetected and
+		// Baseline/SharedSingle never allocate a second level.
+		panic("rob: evaluate called under non-reactive scheme " + t.cfg.Scheme.String())
+	default:
+		panic("rob: evaluate called with unknown scheme")
 	}
 	dod := ApproxDoD(ring, rec.slot)
 	rec.decided = true
@@ -528,6 +550,7 @@ func (t *TwoLevel) evaluate(tid int, rec *missRecord, now int64) {
 	}
 }
 
+//tlrob:allocfree
 func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
 	if t.owner == tid {
 		// A further qualifying miss of the owning thread shares the
@@ -559,6 +582,8 @@ func (t *TwoLevel) tryAllocate(tid int, rec *missRecord) {
 // maybeRelease is a backstop: if the holder somehow has no tracked misses
 // left (e.g. all squashed), relinquish. The normal release happens when
 // the owner's last granted miss is serviced or squashed (grantDone).
+//
+//tlrob:allocfree
 func (t *TwoLevel) maybeRelease() {
 	if t.owner < 0 || len(t.misses[t.owner]) > 0 {
 		return

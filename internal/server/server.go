@@ -191,6 +191,7 @@ type Server struct {
 	active   map[string]*Job // by cache key, for singleflight
 	seq      uint64
 
+	//tlrob:allow(process-lifetime base context, the http.Server.BaseContext pattern; jobs derive from it)
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	workersWG  sync.WaitGroup
@@ -495,17 +496,17 @@ func (s *Server) Stats() Stats {
 		stalls[c.String()] = s.stallCycles[c].Load()
 	}
 	return Stats{
-		QueueDepth:  len(s.queue),
-		Inflight:    s.inflight.Load(),
-		Submitted:   s.submitted.Load(),
-		Coalesced:   s.coalesced.Load(),
-		Rejected:    s.rejected.Load(),
-		Completed:   s.completed.Load(),
-		Failed:      s.failed.Load(),
-		Canceled:    s.canceled.Load(),
-		Retries:     s.retries.Load(),
-		Simulations: s.simulations.Load(),
-		Cycles:      s.cycles.Load(),
+		QueueDepth:   len(s.queue),
+		Inflight:     s.inflight.Load(),
+		Submitted:    s.submitted.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Rejected:     s.rejected.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		Canceled:     s.canceled.Load(),
+		Retries:      s.retries.Load(),
+		Simulations:  s.simulations.Load(),
+		Cycles:       s.cycles.Load(),
 		SimSeconds:   float64(s.simNanosSum.Load()) / 1e9,
 		Draining:     draining,
 		Cache:        s.cfg.Store.Stats(),

@@ -141,6 +141,8 @@ func NewCycleState(threads int) *CycleState {
 }
 
 // Reset clears the per-thread dispatch outcome for the next cycle.
+//
+//tlrob:allocfree
 func (st *CycleState) Reset() {
 	for i := range st.Dispatched {
 		st.Dispatched[i] = 0
@@ -169,15 +171,15 @@ type Collector struct {
 	threads int
 
 	// Stall attribution (exact, per cycle).
-	cycles     int64
-	active     []uint64 // dispatch-active cycles per thread
-	uops       []uint64 // instructions dispatched per thread
-	stalls     []uint64 // [tid*NumCauses + cause]
-	ownedCyc   uint64   // cycles the second level was held by anyone
-	robOccSum  []uint64 // per-thread ROB occupancy summed every cycle
-	iqOccSum   uint64
-	intRegSum  uint64
-	fpRegSum   uint64
+	cycles    int64
+	active    []uint64 // dispatch-active cycles per thread
+	uops      []uint64 // instructions dispatched per thread
+	stalls    []uint64 // [tid*NumCauses + cause]
+	ownedCyc  uint64   // cycles the second level was held by anyone
+	robOccSum []uint64 // per-thread ROB occupancy summed every cycle
+	iqOccSum  uint64
+	intRegSum uint64
+	fpRegSum  uint64
 
 	// Occupancy samples: struct-of-arrays ring, one row per sample.
 	nextSampleAt int64
@@ -234,6 +236,8 @@ func (c *Collector) Cycles() int64 { return c.cycles }
 // RecordCycle charges one simulated cycle: dispatch outcome per thread,
 // occupancy accumulation, and (on sample cycles) one ring-buffer sample.
 // It never allocates.
+//
+//tlrob:allocfree
 func (c *Collector) RecordCycle(now int64, st *CycleState) {
 	c.cycles++
 	for t := 0; t < c.threads; t++ {
@@ -257,6 +261,7 @@ func (c *Collector) RecordCycle(now int64, st *CycleState) {
 	}
 }
 
+//tlrob:allocfree
 func (c *Collector) sample(now int64, st *CycleState) {
 	var pos int
 	if c.sLen < c.cfg.SampleCap {
@@ -292,6 +297,8 @@ func (c *Collector) SampleCount() int { return c.sLen }
 // GrantAcquired opens a second-level tenancy: thread tid took the
 // partition at cycle now for the miss at pc. Signature-compatible with
 // rob.TwoLevel's OnGrantAcquired hook.
+//
+//tlrob:allocfree
 func (c *Collector) GrantAcquired(tid int, pc uint64, now int64) {
 	if c.openActive {
 		// Defensive: a release was missed; close the stale tenancy at
@@ -304,6 +311,8 @@ func (c *Collector) GrantAcquired(tid int, pc uint64, now int64) {
 }
 
 // GrantPiggyback records a further miss joining the open tenancy.
+//
+//tlrob:allocfree
 func (c *Collector) GrantPiggyback(tid int, pc uint64, now int64) {
 	if c.openActive {
 		c.open.Misses++
@@ -312,6 +321,8 @@ func (c *Collector) GrantPiggyback(tid int, pc uint64, now int64) {
 }
 
 // GrantReleased closes the open tenancy at cycle now.
+//
+//tlrob:allocfree
 func (c *Collector) GrantReleased(tid int, now int64) {
 	if !c.openActive {
 		return
@@ -357,8 +368,8 @@ type CauseCycles struct {
 
 // ThreadSummary is one thread's dispatch accounting over the run.
 type ThreadSummary struct {
-	ActiveCycles   uint64        `json:"active_cycles"`
-	DispatchedUops uint64        `json:"dispatched_uops"`
+	ActiveCycles   uint64 `json:"active_cycles"`
+	DispatchedUops uint64 `json:"dispatched_uops"`
 	// Stalls lists every cause with a non-zero charge, in Cause order.
 	Stalls []CauseCycles `json:"stalls,omitempty"`
 	// MeanROBOcc is the thread's mean ROB occupancy (exact: accumulated

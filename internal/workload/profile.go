@@ -13,7 +13,10 @@
 // DoD predictor and the gShare predictor rely on.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ILPClass is the paper's three-way benchmark classification: low-ILP
 // benchmarks are memory bound, high-ILP benchmarks are execution bound.
@@ -297,11 +300,6 @@ func Names() []string {
 	for n := range profiles {
 		out = append(out, n)
 	}
-	// insertion sort; tiny slice, avoids importing sort for one call site
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
