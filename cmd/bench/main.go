@@ -19,12 +19,14 @@ func main() {
 		budget = flag.Uint64("budget", 50_000, "instructions per thread per run")
 		seed   = flag.Uint64("seed", 1, "workload seed")
 		out    = flag.String("out", "BENCH_results.json", "report path")
+		naive  = flag.Bool("naive", false, "force the cycle-by-cycle reference engine (for before/after engine comparisons)")
 	)
 	flag.Parse()
 
 	p := experiments.DefaultBenchParams()
 	p.Budget = *budget
 	p.Seed = *seed
+	p.Naive = *naive
 
 	rep, err := experiments.RunBench(p)
 	if err != nil {

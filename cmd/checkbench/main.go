@@ -5,11 +5,20 @@
 // degenerate report fails the build instead of silently shipping a
 // useless artifact.
 //
+// With -baseline it additionally guards simulator throughput: every
+// (scheme, mix) row of the baseline report must still be present in the
+// fresh report, and no row's cycles_per_sec may fall more than
+// -max-regress (default 20%) below the baseline's. A hot-path change
+// that quietly slows the simulator fails the build with the offending
+// rows named.
+//
 //	checkbench BENCH_results.json
+//	checkbench -baseline BENCH_results.json -max-regress 0.20 fresh.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,11 +26,42 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: checkbench <BENCH_results.json>")
+	baseline := flag.String("baseline", "", "committed bench report to compare throughput against")
+	maxRegress := flag.Float64("max-regress", 0.20, "max fractional cycles_per_sec drop vs -baseline before failing")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: checkbench [-baseline committed.json] [-max-regress 0.20] <BENCH_results.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	path := os.Args[1]
+	path := flag.Arg(0)
+	rep := load(path)
+	if errs := validate(rep); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "checkbench: %s: %s\n", path, e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkbench: %s ok (%d rows, budget %d, %s)\n",
+		path, len(rep.Rows), rep.Budget, rep.GoVersion)
+	if *baseline == "" {
+		return
+	}
+	base := load(*baseline)
+	if errs := compare(base, rep, *maxRegress); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "checkbench: %s vs %s: %s\n", path, *baseline, e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkbench: %s within %.0f%% of %s on every (scheme, mix) row\n",
+		path, *maxRegress*100, *baseline)
+}
+
+func load(path string) experiments.BenchReport {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal("%v", err)
@@ -30,23 +70,60 @@ func main() {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		fatal("%s: not a bench report: %v", path, err)
 	}
+	return rep
+}
+
+// validate checks a report is structurally sound: non-empty, with a
+// budget, and every row recording actual simulated work.
+func validate(rep experiments.BenchReport) []string {
+	var errs []string
 	if len(rep.Rows) == 0 {
-		fatal("%s: report has no rows", path)
+		errs = append(errs, "report has no rows")
 	}
 	if rep.Budget == 0 {
-		fatal("%s: report has zero budget", path)
+		errs = append(errs, "report has zero budget")
 	}
 	for i, r := range rep.Rows {
 		if r.Scheme == "" || r.Mix == "" {
-			fatal("%s: row %d is missing its scheme or mix label", path, i)
+			errs = append(errs, fmt.Sprintf("row %d is missing its scheme or mix label", i))
+			continue
 		}
 		if r.Cycles <= 0 || r.Instructions == 0 {
-			fatal("%s: row %d (%s, %s) records no simulated work (cycles=%d, instructions=%d)",
-				path, i, r.Scheme, r.Mix, r.Cycles, r.Instructions)
+			errs = append(errs, fmt.Sprintf("row %d (%s, %s) records no simulated work (cycles=%d, instructions=%d)",
+				i, r.Scheme, r.Mix, r.Cycles, r.Instructions))
 		}
 	}
-	fmt.Printf("checkbench: %s ok (%d rows, budget %d, %s)\n",
-		path, len(rep.Rows), rep.Budget, rep.GoVersion)
+	return errs
+}
+
+// compare checks fresh against base row by row, keyed on (scheme, mix):
+// every baseline row must still exist, and its cycles_per_sec must not
+// have dropped by more than maxRegress. Rows fresh adds beyond the
+// baseline pass silently (they have nothing to regress against), as do
+// throughput improvements.
+func compare(base, fresh experiments.BenchReport, maxRegress float64) []string {
+	type key struct{ scheme, mix string }
+	got := make(map[key]experiments.BenchRow, len(fresh.Rows))
+	for _, r := range fresh.Rows {
+		got[key{r.Scheme, r.Mix}] = r
+	}
+	var errs []string
+	for _, b := range base.Rows {
+		r, ok := got[key{b.Scheme, b.Mix}]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("(%s, %s) present in baseline but missing from fresh report", b.Scheme, b.Mix))
+			continue
+		}
+		if b.CyclesPerSec <= 0 {
+			continue // degenerate baseline row; validate catches it on its own run
+		}
+		drop := 1 - r.CyclesPerSec/b.CyclesPerSec
+		if drop > maxRegress {
+			errs = append(errs, fmt.Sprintf("(%s, %s) cycles_per_sec regressed %.1f%% (%.0f -> %.0f, limit %.0f%%)",
+				b.Scheme, b.Mix, drop*100, b.CyclesPerSec, r.CyclesPerSec, maxRegress*100))
+		}
+	}
+	return errs
 }
 
 func fatal(format string, args ...any) {

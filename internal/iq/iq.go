@@ -99,6 +99,30 @@ func (q *IQ) Tick() {
 	q.stats.Cycles++
 }
 
+// FastForward accumulates k cycles of occupancy statistics in one step —
+// the closed form of k consecutive Tick calls with no intervening
+// insert, issue or squash.
+//
+//tlrob:allocfree
+func (q *IQ) FastForward(k int64) {
+	q.stats.OccupancySum += uint64(q.count) * uint64(k)
+	q.stats.Cycles += uint64(k)
+}
+
+// HasReady reports whether any live entry has both operands available.
+// While true, every cycle must be simulated: selection would issue the
+// entry, or re-discover an FU or LSQ conflict (which is itself counted).
+//
+//tlrob:allocfree
+func (q *IQ) HasReady() bool {
+	for _, w := range q.ready {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (q *IQ) setReady(i int) { q.ready[i>>6] |= 1 << (uint(i) & 63) }
 func (q *IQ) clrReady(i int) { q.ready[i>>6] &^= 1 << (uint(i) & 63) }
 func (q *IQ) addWaiter(phys int32, i int) {

@@ -3,7 +3,11 @@
 // register files, private per-thread LSQs and the two-level reorder buffer
 // under test. Each simulated cycle runs writeback → commit → ROB-scheme
 // tick → issue → dispatch → fetch, so results produced in a cycle wake
-// consumers for the next one.
+// consumers for the next one. Between simulated cycles the skip-ahead
+// engine (scheduler.go) fast-forwards the clock across provably idle
+// spans, charging them in closed form; Config.NaiveTicker forces the
+// cycle-by-cycle reference engine, and a differential harness holds the
+// two to bit-identical results (see docs/PIPELINE.md).
 package pipeline
 
 import (
@@ -48,6 +52,24 @@ type Config struct {
 	ReplayPenalty  int // extra load latency when the load-hit predictor mispredicts
 
 	MissDetectDelay int // cycles from load issue to L2-miss discovery (L1+L2 lookups)
+
+	// BTBMissBubble is the extra fetch-redirect penalty when a
+	// predicted-taken branch misses in the BTB: the target is unknown
+	// until decode computes it, so fetch resumes BTBMissBubble cycles
+	// later. 0 selects the default (2: one decode + one redirect cycle).
+	BTBMissBubble int
+	// RedirectBubble is the delay before fetch resumes after a
+	// squash-side redirect — a resolved misprediction steering fetch back
+	// to the correct path, or the FLUSH gate lifting when its load
+	// returns. 0 selects the default (1: the redirect itself).
+	RedirectBubble int
+
+	// NaiveTicker forces the reference cycle-by-cycle engine: CPU.Run
+	// simulates every cycle instead of fast-forwarding across provably
+	// idle spans. Results are bit-identical either way (the differential
+	// tests enforce it); the naive engine exists as the oracle those
+	// tests and the slowcheck harness compare against.
+	NaiveTicker bool
 
 	// EarlyRegRelease enables the conservative early register deallocation
 	// of [24] (regfile.EarlyReleaser). Incompatible with the FLUSH policy,
@@ -95,6 +117,8 @@ func DefaultConfig(threads int, robCfg rob.Config) Config {
 		LoadHitEntries:  1024,
 		ReplayPenalty:   3,
 		MissDetectDelay: 11,
+		BTBMissBubble:   2,
+		RedirectBubble:  1,
 		Prewarm:         true,
 	}
 }
@@ -123,6 +147,17 @@ func (c *Config) Validate() error {
 	}
 	if c.ReplayPenalty < 0 {
 		return fmt.Errorf("pipeline: negative replay penalty")
+	}
+	if c.BTBMissBubble < 0 || c.RedirectBubble < 0 {
+		return fmt.Errorf("pipeline: negative fetch-redirect bubble")
+	}
+	// Zero means "use the default" so hand-built configs predating these
+	// knobs keep the exact timing they always had.
+	if c.BTBMissBubble == 0 {
+		c.BTBMissBubble = 2
+	}
+	if c.RedirectBubble == 0 {
+		c.RedirectBubble = 1
 	}
 	if c.EarlyRegRelease && c.PolicyKind == policy.FLUSH {
 		return fmt.Errorf("pipeline: early register release is unsafe under the FLUSH policy")

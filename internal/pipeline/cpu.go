@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/uop"
@@ -72,6 +73,14 @@ type thread struct {
 	wrongPath         bool // fetching synthetic wrong-path instructions
 	flushWait         bool // FLUSH policy: gated until flushLoadSeq returns
 	flushLoadSeq      uint64
+	// squashRefill marks the replay queue's current contents as squash
+	// debris: set when a squash queues real-path instructions for
+	// re-fetch, cleared when the queue drains. While it holds (and the
+	// queue is non-empty), a starved front end is charged to the squash
+	// machinery rather than to ordinary fetch starvation — an I-cache
+	// stall also parks one instruction in the replay queue, which is why
+	// a bare replay.len()>0 test cannot make that call.
+	squashRefill bool
 
 	committed uint64
 	fetched   uint64
@@ -165,9 +174,19 @@ type CPU struct {
 	dodHist *metrics.Histogram
 	stats   Stats
 
-	// tel is nil when telemetry is disabled; every per-cycle hook is
-	// guarded by that nil check so the disabled path stays free of
-	// telemetry work. telState is the reusable per-cycle snapshot.
+	// skipAhead enables the event-driven engine: advance consults
+	// nextInterestingCycle after each simulated cycle and fast-forwards
+	// across provably idle spans. Cleared by Config.NaiveTicker or when
+	// the policy cannot be skipped (no CycleSkipper implementation).
+	skipAhead bool
+	// polSkip is the policy's skip-ahead hook (nil when absent).
+	polSkip policy.CycleSkipper
+
+	// tel is nil when telemetry is disabled; the per-cycle collector
+	// calls are guarded by that nil check. telState is the reusable
+	// per-cycle snapshot; it is always allocated — dispatch records each
+	// thread's outcome into it unconditionally because the skip decision
+	// needs the blocking causes even with telemetry off.
 	tel      *telemetry.Collector
 	telState *telemetry.CycleState
 }
@@ -252,52 +271,83 @@ func New(cfg Config, sources []TraceSource) (*CPU, error) {
 	c.stats.LoadL1Miss = make([]uint64, cfg.Threads)
 	c.stats.LoadL2Miss = make([]uint64, cfg.Threads)
 	c.stats.LoadLatencySum = make([]uint64, cfg.Threads)
+	c.telState = telemetry.NewCycleState(cfg.Threads)
 	if cfg.Telemetry != nil {
 		c.tel = telemetry.NewCollector(cfg.Threads, *cfg.Telemetry)
-		c.telState = telemetry.NewCycleState(cfg.Threads)
 		c.rob.OnGrantAcquired = c.tel.GrantAcquired
 		c.rob.OnGrantPiggyback = c.tel.GrantPiggyback
 		c.rob.OnGrantReleased = c.tel.GrantReleased
 	}
+	c.polSkip, _ = c.pol.(policy.CycleSkipper)
+	c.skipAhead = !cfg.NaiveTicker && c.polSkip != nil
 	return c, nil
 }
 
 // Run simulates until any thread commits budget instructions (the paper's
-// stop rule) and returns the collected results.
+// stop rule) and returns the collected results. Each iteration simulates
+// exactly one cycle and then advances the clock — by one, or (with the
+// skip-ahead engine) straight to the next cycle at which anything can
+// happen, charging the skipped span in closed form. Both paths produce
+// bit-identical results; the differential tests hold them to it.
 func (c *CPU) Run(budget uint64) (Result, error) {
 	if budget == 0 {
 		return Result{}, fmt.Errorf("pipeline: zero instruction budget")
 	}
-	maxCycles := c.cfg.MaxCycles
-	if maxCycles == 0 {
-		// Worst realistic case is one commit per memory round-trip.
-		maxCycles = int64(budget) * 2000
-		if maxCycles < 1_000_000 {
-			maxCycles = 1_000_000
-		}
-	}
-	//tlrob:allocfree (the per-cycle loop: every iteration is one simulated cycle)
+	maxCycles := watchdogCycles(budget, c.cfg.MaxCycles)
 	for {
-		c.writeback()
-		if done := c.commit(budget); done {
+		if done := c.stepCycle(budget); done {
 			break
 		}
-		c.rob.Tick(c.now)
-		c.iq.Tick()
-		c.buildSnapshots()
-		c.issue()
-		c.dispatch()
-		if c.tel != nil {
-			c.recordTelemetry()
-		}
-		c.fetch()
-		c.now++
-		if c.now >= maxCycles {
+		if c.advance(maxCycles) {
 			//tlrob:allow(cold: terminal error path, runs at most once per simulation)
 			return Result{}, fmt.Errorf("pipeline: no thread reached %d commits within %d cycles (deadlock or budget too large)", budget, maxCycles)
 		}
 	}
 	return c.result(), nil
+}
+
+// watchdogCycles derives the deadlock-watchdog limit from the
+// instruction budget when the configuration does not pin one. The worst
+// realistic case is one commit per memory round-trip (~2000 cycles);
+// the product saturates at MaxInt64 instead of wrapping negative for
+// astronomic budgets, which used to trip the watchdog on cycle 0.
+func watchdogCycles(budget uint64, cfgMax int64) int64 {
+	if cfgMax != 0 {
+		return cfgMax
+	}
+	const cyclesPerCommit = 2000
+	if budget > math.MaxInt64/cyclesPerCommit {
+		return math.MaxInt64
+	}
+	maxCycles := int64(budget) * cyclesPerCommit
+	if maxCycles < 1_000_000 {
+		maxCycles = 1_000_000
+	}
+	return maxCycles
+}
+
+// stepCycle simulates exactly cycle c.now — every stage, in order — and
+// reports whether a thread reached its commit budget (the stop rule).
+// It leaves c.telState describing the cycle's per-thread dispatch
+// outcome for the skip decision in advance.
+//
+//tlrob:allocfree (the per-cycle body: every call is one simulated cycle)
+func (c *CPU) stepCycle(budget uint64) bool {
+	c.telState.Reset()
+	c.writeback()
+	if done := c.commit(budget); done {
+		return true
+	}
+	c.rob.Tick(c.now)
+	c.iq.Tick()
+	c.buildSnapshots()
+	c.issue()
+	c.dispatch()
+	if c.tel != nil {
+		c.recordTelemetry()
+	}
+	c.fetch()
+	return false
 }
 
 // Cycle returns the current cycle (for tests driving stages manually).
@@ -342,7 +392,8 @@ func (c *CPU) result() Result {
 // the blocked threads during its walk (telState.Causes); threads it
 // never reached are classified here, then the occupancy snapshot is
 // taken and the cycle committed to the collector. Runs only when
-// telemetry is enabled.
+// telemetry is enabled; the state is reset at the top of the next
+// stepCycle, not here, because the skip decision still needs it.
 //
 //tlrob:allocfree
 func (c *CPU) recordTelemetry() {
@@ -360,7 +411,7 @@ func (c *CPU) recordTelemetry() {
 		case th.finished:
 			st.Causes[t] = telemetry.CauseFinished
 		case th.fq.len() == 0 || th.fq.peek().readyAt > c.now:
-			st.Causes[t] = telemetry.CauseFetchStarved
+			st.Causes[t] = c.starvedCause(th)
 		default:
 			st.Causes[t] = telemetry.CauseDispatchBW
 		}
@@ -370,7 +421,20 @@ func (c *CPU) recordTelemetry() {
 	st.FPRegs = int32(c.rf.InFlight(true))
 	st.Owner = int8(c.rob.Owner())
 	c.tel.RecordCycle(c.now, st)
-	st.Reset()
+}
+
+// starvedCause splits an empty (or not-yet-ready) front end between the
+// squash machinery and ordinary fetch starvation: a thread gated by the
+// FLUSH policy, or whose next real-path instructions sit in the replay
+// queue because a squash put them there, is blocked by the squash — not
+// by the I-cache or the front-end pipeline depth.
+//
+//tlrob:allocfree
+func (c *CPU) starvedCause(th *thread) telemetry.Cause {
+	if th.flushWait || (th.squashRefill && th.replay.len() > 0) {
+		return telemetry.CauseSquashRefill
+	}
+	return telemetry.CauseFetchStarved
 }
 
 // buildSnapshots refreshes the per-thread state the policy decides from.

@@ -117,6 +117,9 @@ func (th *thread) wpInst() isa.TraceInst {
 func (c *CPU) nextInst(th *thread, out *isa.TraceInst) {
 	if th.replay.len() > 0 {
 		th.replay.popFront(out)
+		if th.replay.len() == 0 {
+			th.squashRefill = false
+		}
 		return
 	}
 	th.src.Next(out)
@@ -190,9 +193,10 @@ func (c *CPU) fetchThread(tid int, th *thread, limit int) int {
 			}
 			if pred {
 				// Fetch block ends at a predicted-taken branch; a BTB miss
-				// costs an extra redirect bubble.
+				// leaves the target unknown until decode computes it, so
+				// fetch resumes after the configured redirect bubble.
 				if _, ok := c.btb.Lookup(inst.PC); !ok {
-					th.fetchStalledUntil = c.now + 2
+					th.fetchStalledUntil = c.now + int64(c.cfg.BTBMissBubble)
 				}
 				break
 			}
@@ -213,7 +217,9 @@ func (c *CPU) dispatch() {
 	budget := c.cfg.DispatchWidth
 	n := c.cfg.Threads
 	tid := c.dispatchRR
-	st := c.telState // nil when telemetry is disabled
+	// telState is always present: beyond telemetry, the skip-ahead
+	// engine's idle proof needs the per-thread dispatch outcome.
+	st := c.telState
 	for i := 0; i < n && budget > 0; i++ {
 		if i > 0 {
 			tid++
@@ -230,16 +236,14 @@ func (c *CPU) dispatch() {
 			if cause := c.dispatchOne(tid, th, fe); cause != telemetry.CauseNone {
 				// In-order dispatch: head-of-line blocks the thread; the
 				// cycle is charged to the first blocking resource.
-				if st != nil && st.Dispatched[tid] == 0 {
+				if st.Dispatched[tid] == 0 {
 					st.Causes[tid] = cause
 				}
 				break
 			}
 			th.fq.pop()
 			budget--
-			if st != nil {
-				st.Dispatched[tid]++
-			}
+			st.Dispatched[tid]++
 		}
 	}
 	c.dispatchRR++
@@ -264,12 +268,15 @@ func (c *CPU) robStallCause(tid int, th *thread) telemetry.Cause {
 	return telemetry.CauseROBFull
 }
 
-// dispatchOne renames and inserts one instruction. It returns CauseNone
-// on success; any other cause means that resource was unavailable and
-// the thread must stall this cycle.
+// dispatchGate is the pure admission check of dispatchOne: it returns
+// CauseNone when the instruction could rename and insert right now, or
+// the first blocking resource otherwise, without mutating anything. The
+// skip-ahead engine dry-runs it (against freshly rebuilt snapshots) to
+// decide whether the next cycle would dispatch, and to charge blocked
+// spans to the same cause the naive ticker would record.
 //
 //tlrob:allocfree
-func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) telemetry.Cause {
+func (c *CPU) dispatchGate(tid int, th *thread, fe *feEntry) telemetry.Cause {
 	inst := &fe.inst
 	if !c.rob.CanDispatch(tid) {
 		return c.robStallCause(tid, th)
@@ -284,8 +291,7 @@ func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) telemetry.Cause {
 	if c.iq.Free() <= 2*c.cfg.Threads && c.rob.Ring(tid).Len() >= c.cfg.ROB.L1Size {
 		return telemetry.CauseIQFull
 	}
-	isMem := inst.Op.IsMem()
-	if isMem && !c.lsq.CanInsert(tid) {
+	if inst.Op.IsMem() && !c.lsq.CanInsert(tid) {
 		return telemetry.CauseLSQFull
 	}
 	if inst.HasDest() {
@@ -301,6 +307,20 @@ func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) telemetry.Cause {
 			return telemetry.CauseRegFile
 		}
 	}
+	return telemetry.CauseNone
+}
+
+// dispatchOne renames and inserts one instruction. It returns CauseNone
+// on success; any other cause means that resource was unavailable and
+// the thread must stall this cycle.
+//
+//tlrob:allocfree
+func (c *CPU) dispatchOne(tid int, th *thread, fe *feEntry) telemetry.Cause {
+	if cause := c.dispatchGate(tid, th, fe); cause != telemetry.CauseNone {
+		return cause
+	}
+	inst := &fe.inst
+	isMem := inst.Op.IsMem()
 
 	slot, u := c.rob.Ring(tid).Push()
 	u.PC = inst.PC
@@ -537,7 +557,7 @@ func (c *CPU) complete(tid int, u *uop.UOp) {
 			}
 			if th.flushWait && th.flushLoadSeq == u.Seq {
 				th.flushWait = false
-				th.fetchStalledUntil = c.now + 1
+				th.fetchStalledUntil = c.now + int64(c.cfg.RedirectBubble)
 			}
 			ring := c.rob.Ring(tid)
 			var exact int
@@ -578,8 +598,8 @@ func (c *CPU) resolveBranch(tid int, th *thread, u *uop.UOp) {
 	c.squash(tid, u.Seq)
 	th.mispredPending = false
 	th.wrongPath = false
-	if th.fetchStalledUntil < c.now+1 {
-		th.fetchStalledUntil = c.now + 1
+	if redirect := c.now + int64(c.cfg.RedirectBubble); th.fetchStalledUntil < redirect {
+		th.fetchStalledUntil = redirect
 	}
 	// Repair the speculative history: everything after this branch was
 	// squashed; re-seed with the branch's own (actual) outcome.
@@ -713,6 +733,7 @@ func (c *CPU) squash(tid int, targetSeq uint64) {
 	if len(replayRev) > 0 || fePrepended > 0 {
 		merged = append(merged, th.replay.pending()...)
 		th.mergeScratch = th.replay.replace(merged)
+		th.squashRefill = true
 	} else {
 		th.mergeScratch = merged[:0]
 	}

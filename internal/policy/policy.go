@@ -159,6 +159,18 @@ func MustNew(kind Kind, alpha float64, lim Limits) Policy {
 	return p
 }
 
+// CycleSkipper is implemented by policies whose only cycle-to-cycle
+// state is the rotating tie-break offset. The pipeline's skip-ahead
+// engine calls SkipCycles(k, threads) in place of the k FetchOrder
+// calls a span of provably idle cycles would have made; afterwards the
+// policy must be in exactly the state those calls would have left it
+// in, or fetch fairness diverges from the naive ticker. A policy that
+// carries other per-cycle state must not implement this interface —
+// the pipeline then falls back to ticking every cycle.
+type CycleSkipper interface {
+	SkipCycles(k int64, threads int)
+}
+
 // rotor supplies a rotating tie-break offset so that equal-count threads
 // share fetch slots fairly instead of always yielding to the lowest id.
 type rotor struct{ rr int }
@@ -172,6 +184,19 @@ func (r *rotor) next(n int) int {
 		r.rr = 0
 	}
 	return r.rr
+}
+
+// SkipCycles advances the rotor as k FetchOrder calls on a
+// threads-thread machine would (one next() per call). Every built-in
+// policy embeds the rotor and carries no other per-cycle state, so this
+// single method makes them all CycleSkippers.
+//
+//tlrob:allocfree
+func (r *rotor) SkipCycles(k int64, threads int) {
+	if threads <= 0 || k <= 0 {
+		return
+	}
+	r.rr = int((int64(r.rr) + k) % int64(threads))
 }
 
 // icountOrder sorts runnable threads by fewest in-flight front-end+IQ

@@ -276,6 +276,43 @@ func (t *TwoLevel) CanDispatch(tid int) bool {
 // Stats returns the manager counters.
 func (t *TwoLevel) Stats() Stats { return t.stats }
 
+// NextDue returns the conservative earliest cycle at which a Tick scan
+// could take an observable action for an undecided miss record (the
+// globalDue bound: may be early, never late). Meaningful only while
+// Undecided() > 0; the pipeline's skip-ahead engine uses it as the
+// manager's next-interesting-cycle wake point.
+func (t *TwoLevel) NextDue() int64 { return t.globalDue }
+
+// Undecided returns how many tracked misses still await an allocation
+// decision.
+func (t *TwoLevel) Undecided() int { return t.undecided }
+
+// PendingRetry reports whether some decided-yes miss is still waiting
+// for the partition to free. After any Tick this implies the partition
+// is held (a free partition is granted during the same Tick), so a
+// retry alone never needs a future wake: the releasing event provides
+// one.
+func (t *TwoLevel) PendingRetry() bool { return t.retries > 0 }
+
+// FastForward advances the per-cycle bookkeeping over a span of cycles
+// the caller has proven to be no-ops for the manager: no miss events, no
+// evaluation due (now stays below NextDue for every skipped cycle), no
+// grant retry that could succeed, and no release pending. lastTick is
+// the last cycle of the skipped span — Tick(lastTick) is what the
+// bookkeeping ends up equivalent to — and k is the span length.
+//
+//tlrob:allocfree
+func (t *TwoLevel) FastForward(lastTick int64, k int64) {
+	t.lastNow = lastTick
+	if t.owner >= 0 {
+		t.stats.OwnedCycles += uint64(k)
+	}
+	if t.cfg.Scheme == Baseline || t.cfg.Scheme == SharedSingle {
+		return
+	}
+	t.tickRot += int(k)
+}
+
 // Predictor returns the DoD predictor (nil unless Predictive).
 func (t *TwoLevel) Predictor() *DoDPredictor { return t.pred }
 

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRecordIdleSpanClosedForm pins RecordIdleSpan's contract: charging
+// [from, to) in one call must leave the collector bit-identical to
+// to-from RecordCycle calls with the same frozen state — stall
+// attribution, occupancy sums, sample ring and sampling phase included.
+func TestRecordIdleSpanClosedForm(t *testing.T) {
+	const threads = 4
+	cfg := Config{SampleInterval: 64}
+
+	active := NewCycleState(threads)
+	for i := 0; i < threads; i++ {
+		active.Dispatched[i] = uint8(1 + i)
+		active.ROBLen[i] = int32(10 * i)
+	}
+	active.IQLen = 20
+	active.IntRegs = 100
+	active.FPRegs = 50
+	active.Owner = 1
+
+	idle := NewCycleState(threads)
+	idle.Causes[0] = CauseROBFull
+	idle.Causes[1] = CauseL2GrantWait
+	idle.Causes[2] = CauseSquashRefill
+	idle.Causes[3] = CauseFinished
+	for i := 0; i < threads; i++ {
+		idle.ROBLen[i] = int32(32 - i)
+	}
+	idle.IQLen = 61
+	idle.IntRegs = 200
+	idle.FPRegs = 13
+	idle.Owner = -1
+
+	// Spans chosen to land samples strictly inside a span, on its first
+	// cycle, and on the cycle right after it ends.
+	for _, span := range []struct{ from, to int64 }{
+		{100, 600}, // interior samples
+		{128, 129}, // single cycle, on a sample boundary
+		{130, 190}, // no interior sample
+		{0, 500},   // from the very first cycle
+	} {
+		perCycle := NewCollector(threads, cfg)
+		closed := NewCollector(threads, cfg)
+
+		now := int64(0)
+		for ; now < span.from; now++ {
+			perCycle.RecordCycle(now, active)
+			closed.RecordCycle(now, active)
+		}
+		for ; now < span.to; now++ {
+			perCycle.RecordCycle(now, idle)
+		}
+		closed.RecordIdleSpan(span.from, span.to, idle)
+		for end := span.to + 100; now < end; now++ {
+			perCycle.RecordCycle(now, active)
+			closed.RecordCycle(now, active)
+		}
+
+		if !reflect.DeepEqual(perCycle, closed) {
+			t.Errorf("span [%d,%d): closed form diverged from per-cycle recording\n per-cycle: %+v\n closed:    %+v",
+				span.from, span.to, perCycle.Summary(), closed.Summary())
+		}
+	}
+}
+
+// TestRecordIdleSpanEmpty checks the degenerate spans are no-ops.
+func TestRecordIdleSpanEmpty(t *testing.T) {
+	c := NewCollector(2, Config{SampleInterval: 64})
+	ref := NewCollector(2, Config{SampleInterval: 64})
+	st := NewCycleState(2)
+	c.RecordIdleSpan(10, 10, st)
+	c.RecordIdleSpan(10, 5, st)
+	if !reflect.DeepEqual(c, ref) {
+		t.Error("empty span mutated the collector")
+	}
+}

@@ -43,9 +43,14 @@ const (
 	// CauseLSQFull: the thread's load/store queue is full.
 	CauseLSQFull
 	// CauseFetchStarved: nothing dispatch-eligible in the front end —
-	// the fetch queue is empty (I-cache stall, redirect, FLUSH gate) or
-	// its head has not cleared the front-end pipeline.
+	// the fetch queue is empty (I-cache stall, redirect) or its head has
+	// not cleared the front-end pipeline.
 	CauseFetchStarved
+	// CauseSquashRefill: the front end is empty because of the squash
+	// machinery, not ordinary fetch starvation — the FLUSH policy gates
+	// the thread until the flushing load returns, or squashed real-path
+	// instructions are still queued for re-fetch in the replay queue.
+	CauseSquashRefill
 	// CauseDispatchBW: the head instruction was eligible but the shared
 	// dispatch width was consumed by other threads first.
 	CauseDispatchBW
@@ -58,7 +63,7 @@ const (
 
 var causeNames = [NumCauses]string{
 	"none", "rob_full", "l2_grant_wait", "iq_full", "regfile",
-	"lsq_full", "fetch_starved", "dispatch_bw", "finished",
+	"lsq_full", "fetch_starved", "squash_refill", "dispatch_bw", "finished",
 }
 
 // String returns the cause's snake_case name (stable: used as the JSON
@@ -258,6 +263,44 @@ func (c *Collector) RecordCycle(now int64, st *CycleState) {
 	if now >= c.nextSampleAt {
 		c.sample(now, st)
 		c.nextSampleAt = now + c.cfg.SampleInterval
+	}
+}
+
+// RecordIdleSpan charges the cycles [from, to) in closed form — the
+// exact equivalent of to-from RecordCycle calls with an unchanging
+// machine state. st must describe that state: every thread is treated
+// as non-dispatching and charged to st.Causes[t] (st.Dispatched is
+// ignored), and the occupancy fields are accumulated multiplied by the
+// span length. Samples that fall inside the span are emitted at exactly
+// the cycles the per-cycle path would have picked, so occupancy traces
+// are bit-identical whichever path recorded the span. The active+stalls
+// == cycles invariant is preserved cause-by-cause. It never allocates.
+//
+//tlrob:allocfree
+func (c *Collector) RecordIdleSpan(from, to int64, st *CycleState) {
+	if to <= from {
+		return
+	}
+	k := uint64(to - from)
+	c.cycles += to - from
+	for t := 0; t < c.threads; t++ {
+		c.stalls[t*int(NumCauses)+int(st.Causes[t])] += k
+		c.robOccSum[t] += uint64(st.ROBLen[t]) * k
+	}
+	c.iqOccSum += uint64(st.IQLen) * k
+	c.intRegSum += uint64(st.IntRegs) * k
+	c.fpRegSum += uint64(st.FPRegs) * k
+	if st.Owner >= 0 {
+		c.ownedCyc += k
+	}
+	// RecordCycle samples at the first cycle >= nextSampleAt and then
+	// every SampleInterval; replay that schedule across the span.
+	if c.nextSampleAt < from {
+		c.nextSampleAt = from
+	}
+	for c.nextSampleAt < to {
+		c.sample(c.nextSampleAt, st)
+		c.nextSampleAt += c.cfg.SampleInterval
 	}
 }
 

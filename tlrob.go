@@ -90,6 +90,13 @@ type Options struct {
 	// uses 4; RunSingle always 1).
 	Threads int
 
+	// NaiveTicker forces the cycle-by-cycle reference engine instead of
+	// the skip-ahead scheduler. Results are bit-identical either way
+	// (the differential harness enforces it); the naive engine exists
+	// as the reference for that harness and for engine-overhead
+	// benchmarking.
+	NaiveTicker bool
+
 	// Telemetry enables the internal/telemetry instrumentation layer:
 	// cycle-level stall attribution, sampled occupancy traces and
 	// second-level grant intervals. Results then carry a Summary (and
@@ -146,6 +153,7 @@ func (o Options) machineConfig() pipeline.Config {
 	cfg.PolicyKind = o.Policy
 	cfg.TrackExactDoD = o.TrackExactDoD
 	cfg.EarlyRegRelease = o.EarlyRegRelease
+	cfg.NaiveTicker = o.NaiveTicker
 	if o.MSHRs != 0 {
 		cfg.Hier.MSHRs = o.MSHRs
 	}
