@@ -12,8 +12,15 @@
 // that quietly slows the simulator fails the build with the offending
 // rows named.
 //
+// With -load the argument is instead a report.LoadSummary produced by
+// cmd/simdload -json: the run must have completed without client
+// errors, served every accepted request, and (optionally) clear
+// -min-rps / -max-p99 floors — wiring cluster latency into the same CI
+// gate as simulator throughput.
+//
 //	checkbench BENCH_results.json
 //	checkbench -baseline BENCH_results.json -max-regress 0.20 fresh.json
+//	checkbench -load -min-rps 50 -max-p99 2000 load.json
 package main
 
 import (
@@ -23,13 +30,18 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
 	baseline := flag.String("baseline", "", "committed bench report to compare throughput against")
 	maxRegress := flag.Float64("max-regress", 0.20, "max fractional cycles_per_sec drop vs -baseline before failing")
+	loadMode := flag.Bool("load", false, "treat the argument as a cmd/simdload summary instead of a bench report")
+	minRPS := flag.Float64("min-rps", 0, "with -load: minimum accepted throughput (0 = no floor)")
+	maxP99 := flag.Float64("max-p99", 0, "with -load: maximum accepted p99 latency in ms (0 = no ceiling)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: checkbench [-baseline committed.json] [-max-regress 0.20] <BENCH_results.json>")
+		fmt.Fprintln(os.Stderr, "       checkbench -load [-min-rps N] [-max-p99 MS] <load.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +50,10 @@ func main() {
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	if *loadMode {
+		checkLoad(path, *minRPS, *maxP99)
+		return
+	}
 	rep := load(path)
 	if errs := validate(rep); len(errs) > 0 {
 		for _, e := range errs {
@@ -59,6 +75,53 @@ func main() {
 	}
 	fmt.Printf("checkbench: %s within %.0f%% of %s on every (scheme, mix) row\n",
 		path, *maxRegress*100, *baseline)
+}
+
+// checkLoad gates a cmd/simdload summary: structurally sound, no
+// client-visible errors, and inside the optional rps/p99 envelope.
+func checkLoad(path string, minRPS, maxP99 float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var sum report.LoadSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		fatal("%s: not a load summary: %v", path, err)
+	}
+	if errs := loadErrors(sum, minRPS, maxP99); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "checkbench: %s: %s\n", path, e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkbench: %s ok (%d reqs, %.1f rps, p99 %.1fms, %.0f%% cache hits)\n",
+		path, sum.Requests, sum.Throughput, sum.P99Ms, sum.CacheHitRate*100)
+}
+
+// loadErrors is checkLoad's gate: structural soundness plus the
+// optional throughput floor and p99 ceiling.
+func loadErrors(sum report.LoadSummary, minRPS, maxP99 float64) []string {
+	var errs []string
+	if sum.Requests <= 0 {
+		errs = append(errs, "summary records no requests")
+	}
+	if sum.OK+sum.Rejected+sum.Errors != sum.Requests {
+		errs = append(errs, fmt.Sprintf("request accounting is broken: ok %d + rejected %d + errors %d != %d",
+			sum.OK, sum.Rejected, sum.Errors, sum.Requests))
+	}
+	if sum.Errors > 0 {
+		errs = append(errs, fmt.Sprintf("%d requests errored", sum.Errors))
+	}
+	if sum.OK == 0 && sum.Requests > 0 {
+		errs = append(errs, "no request succeeded")
+	}
+	if minRPS > 0 && sum.Throughput < minRPS {
+		errs = append(errs, fmt.Sprintf("throughput %.1f rps below the %.1f floor", sum.Throughput, minRPS))
+	}
+	if maxP99 > 0 && sum.P99Ms > maxP99 {
+		errs = append(errs, fmt.Sprintf("p99 %.1fms above the %.1fms ceiling", sum.P99Ms, maxP99))
+	}
+	return errs
 }
 
 func load(path string) experiments.BenchReport {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func row(scheme, mix string, cps float64) experiments.BenchRow {
@@ -17,30 +18,30 @@ func row(scheme, mix string, cps float64) experiments.BenchRow {
 	}
 }
 
-func report(rows ...experiments.BenchRow) experiments.BenchReport {
+func mkReport(rows ...experiments.BenchRow) experiments.BenchReport {
 	return experiments.BenchReport{Budget: 50_000, Seed: 1, Rows: rows}
 }
 
 func TestValidate(t *testing.T) {
-	if errs := validate(report(row("Baseline_32", "Mix 1", 1e6))); len(errs) != 0 {
+	if errs := validate(mkReport(row("Baseline_32", "Mix 1", 1e6))); len(errs) != 0 {
 		t.Errorf("valid report rejected: %v", errs)
 	}
-	if errs := validate(report()); len(errs) == 0 {
+	if errs := validate(mkReport()); len(errs) == 0 {
 		t.Error("empty report accepted")
 	}
-	bad := report(row("Baseline_32", "Mix 1", 1e6))
+	bad := mkReport(row("Baseline_32", "Mix 1", 1e6))
 	bad.Rows[0].Cycles = 0
 	if errs := validate(bad); len(errs) == 0 {
 		t.Error("zero-cycle row accepted")
 	}
-	unlabeled := report(row("", "Mix 1", 1e6))
+	unlabeled := mkReport(row("", "Mix 1", 1e6))
 	if errs := validate(unlabeled); len(errs) == 0 {
 		t.Error("unlabeled row accepted")
 	}
 }
 
 func TestCompare(t *testing.T) {
-	base := report(
+	base := mkReport(
 		row("Baseline_32", "Mix 1", 1e6),
 		row("RROB_16", "Mix 1", 2e6),
 	)
@@ -48,8 +49,8 @@ func TestCompare(t *testing.T) {
 	// Identical, improved, and within-tolerance reports all pass.
 	for _, fresh := range []experiments.BenchReport{
 		base,
-		report(row("Baseline_32", "Mix 1", 3e6), row("RROB_16", "Mix 1", 9e6)),
-		report(row("Baseline_32", "Mix 1", 0.85e6), row("RROB_16", "Mix 1", 1.7e6)),
+		mkReport(row("Baseline_32", "Mix 1", 3e6), row("RROB_16", "Mix 1", 9e6)),
+		mkReport(row("Baseline_32", "Mix 1", 0.85e6), row("RROB_16", "Mix 1", 1.7e6)),
 	} {
 		if errs := compare(base, fresh, 0.20); len(errs) != 0 {
 			t.Errorf("in-tolerance report rejected: %v", errs)
@@ -57,7 +58,7 @@ func TestCompare(t *testing.T) {
 	}
 
 	// A >20% drop on any row fails, naming the row.
-	slow := report(row("Baseline_32", "Mix 1", 0.5e6), row("RROB_16", "Mix 1", 2e6))
+	slow := mkReport(row("Baseline_32", "Mix 1", 0.5e6), row("RROB_16", "Mix 1", 2e6))
 	errs := compare(base, slow, 0.20)
 	if len(errs) != 1 {
 		t.Fatalf("want 1 regression, got %v", errs)
@@ -67,18 +68,47 @@ func TestCompare(t *testing.T) {
 	}
 
 	// A baseline row missing from the fresh report fails.
-	errs = compare(base, report(row("Baseline_32", "Mix 1", 1e6)), 0.20)
+	errs = compare(base, mkReport(row("Baseline_32", "Mix 1", 1e6)), 0.20)
 	if len(errs) != 1 || !strings.Contains(errs[0], "missing") {
 		t.Errorf("missing row not reported: %v", errs)
 	}
 
 	// Extra fresh rows are fine; a degenerate baseline row is skipped.
-	extra := report(row("Baseline_32", "Mix 1", 1e6), row("RROB_16", "Mix 1", 2e6), row("PROB_5", "Mix 10", 1e6))
+	extra := mkReport(row("Baseline_32", "Mix 1", 1e6), row("RROB_16", "Mix 1", 2e6), row("PROB_5", "Mix 10", 1e6))
 	if errs := compare(base, extra, 0.20); len(errs) != 0 {
 		t.Errorf("extra rows rejected: %v", errs)
 	}
-	degenerate := report(row("Baseline_32", "Mix 1", 0), row("RROB_16", "Mix 1", 2e6))
-	if errs := compare(degenerate, report(row("Baseline_32", "Mix 1", 1), row("RROB_16", "Mix 1", 2e6)), 0.20); len(errs) != 0 {
+	degenerate := mkReport(row("Baseline_32", "Mix 1", 0), row("RROB_16", "Mix 1", 2e6))
+	if errs := compare(degenerate, mkReport(row("Baseline_32", "Mix 1", 1), row("RROB_16", "Mix 1", 2e6)), 0.20); len(errs) != 0 {
 		t.Errorf("degenerate baseline row not skipped: %v", errs)
+	}
+}
+
+func loadSum(n, ok, rejected, errs int, rps, p99 float64) report.LoadSummary {
+	return report.LoadSummary{Requests: n, OK: ok, Rejected: rejected, Errors: errs, Throughput: rps, P99Ms: p99}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if errs := loadErrors(loadSum(100, 98, 2, 0, 50, 120), 0, 0); len(errs) != 0 {
+		t.Errorf("healthy summary rejected: %v", errs)
+	}
+	if errs := loadErrors(loadSum(0, 0, 0, 0, 0, 0), 0, 0); len(errs) == 0 {
+		t.Error("empty summary accepted")
+	}
+	if errs := loadErrors(loadSum(100, 90, 0, 10, 50, 120), 0, 0); len(errs) == 0 {
+		t.Error("client errors accepted")
+	}
+	if errs := loadErrors(loadSum(100, 90, 2, 0, 50, 120), 0, 0); len(errs) == 0 {
+		t.Error("broken accounting accepted")
+	}
+	if errs := loadErrors(loadSum(100, 98, 2, 0, 10, 120), 50, 0); len(errs) == 0 {
+		t.Error("throughput below the floor accepted")
+	}
+	if errs := loadErrors(loadSum(100, 98, 2, 0, 50, 5000), 0, 2000); len(errs) == 0 {
+		t.Error("p99 above the ceiling accepted")
+	}
+	// Zero floors disable the perf gates.
+	if errs := loadErrors(loadSum(100, 100, 0, 0, 0.01, 9e9), 0, 0); len(errs) != 0 {
+		t.Errorf("ungated summary rejected: %v", errs)
 	}
 }

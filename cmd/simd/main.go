@@ -10,29 +10,42 @@
 //	curl -s -X POST 'localhost:8080/v1/runs?wait=1' \
 //	     -d '{"scheme":"rrob","mixes":["Mix 1"],"budget":50000}'
 //
+// Passing -addr :0 binds a free port; the concrete address is printed
+// on stdout ("simd listening on host:port") so scripts and tests can
+// scrape it.
+//
+// With -peers the node joins a fleet: a local cache miss first asks the
+// key's ring owners over GET /v1/cache/{key} before simulating.
+//
+// With -coordinator the process serves no simulations itself; it routes
+// each submission to its shard owner over a consistent-hash ring of
+// -peers, hedges stragglers onto the next replica, retries 429/503 on
+// other replicas, enforces per-tenant quotas, and aggregates fleet
+// state at /v1/fleet.
+//
 // SIGINT/SIGTERM drains gracefully: submissions get 503, queued and
 // running jobs finish (up to -drain-timeout), then the process exits.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
+		addr         = flag.String("addr", ":8080", "listen address (\":0\" picks a free port, printed on stdout)")
 		cacheDir     = flag.String("cache-dir", "results/cache", "on-disk result cache root")
 		cacheMem     = flag.Int64("cache-mem", 64<<20, "in-memory cache byte budget")
 		queueSize    = flag.Int("queue", 64, "job queue capacity (full = HTTP 429)")
@@ -42,16 +55,46 @@ func main() {
 		retries      = flag.Int("retries", 2, "retry budget for transient failures")
 		maxBudget    = flag.Uint64("max-budget", 5_000_000, "largest accepted per-thread instruction budget")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain limit on shutdown")
+
+		peers       = flag.String("peers", "", "comma-separated fleet base URLs (workers: peer cache fill; coordinator: the ring)")
+		selfURL     = flag.String("self-url", "", "this worker's advertised base URL within -peers (default http://<bound addr>)")
+		coordinator = flag.Bool("coordinator", false, "run as the fleet coordinator instead of a worker")
+		vnodes      = flag.Int("vnodes", 64, "virtual nodes per ring member")
+		replicas    = flag.Int("replicas", 3, "distinct nodes a submission may try (reroutes + hedges)")
+		hedgeQ      = flag.Float64("hedge-quantile", 0.95, "latency percentile after which a backup request is hedged")
+		hedgeMin    = flag.Duration("hedge-min", 100*time.Millisecond, "hedge delay floor (also the cold-start delay)")
+		hedgeMax    = flag.Duration("hedge-max", 5*time.Second, "hedge delay ceiling")
+		quotaRate   = flag.Float64("quota-rate", 0, "per-tenant submissions/sec (0 disables quotas)")
+		quotaBurst  = flag.Float64("quota-burst", 0, "per-tenant burst (default 2x rate)")
+		maxInflight = flag.Int("max-inflight", 128, "concurrent forwards; excess waits in weighted-fair order")
 	)
 	flag.Parse()
 	log.SetPrefix("simd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
+	peerList := splitPeers(*peers)
+	if *coordinator {
+		runCoordinator(*addr, peerList, cluster.CoordinatorConfig{
+			Peers:         peerList,
+			VNodes:        *vnodes,
+			Replicas:      *replicas,
+			HedgeQuantile: *hedgeQ,
+			HedgeAfterMin: *hedgeMin,
+			HedgeAfterMax: *hedgeMax,
+			QuotaRate:     *quotaRate,
+			QuotaBurst:    *quotaBurst,
+			MaxInflight:   *maxInflight,
+			MaxBudget:     *maxBudget,
+			Logf:          log.Printf,
+		}, *drainTimeout)
+		return
+	}
+
 	st, err := store.New(*cacheDir, *cacheMem)
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Store:      st,
 		QueueSize:  *queueSize,
 		Workers:    *workers,
@@ -60,22 +103,41 @@ func main() {
 		Retries:    *retries,
 		MaxBudget:  *maxBudget,
 		Logf:       log.Printf,
-	})
+	}
+	// Peer cache fill is wired late: with -addr :0 the self URL is only
+	// known after binding, and the filler needs it to skip this node.
+	var filler *cluster.PeerFiller
+	if len(peerList) > 0 {
+		cfg.PeerFill = func(ctx context.Context, key string) ([]byte, bool) {
+			if filler == nil {
+				return nil, false
+			}
+			return filler.Fill(ctx, key)
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+	httpSrv, bound, errCh, err := server.StartHTTP(*addr, srv.Handler())
+	if err != nil {
+		fatal(err)
 	}
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s (cache %s, queue %d, %d workers)",
-			*addr, *cacheDir, *queueSize, *workers)
-		errCh <- httpSrv.ListenAndServe()
-	}()
+	fmt.Printf("simd listening on %s\n", bound)
+	log.Printf("listening on %s (cache %s, queue %d, %d workers)", bound, *cacheDir, *queueSize, *workers)
+
+	if len(peerList) > 0 {
+		self := *selfURL
+		if self == "" {
+			self = "http://" + bound
+		}
+		filler, err = cluster.NewPeerFiller(self, peerList, *vnodes, 0, 0, nil)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("fleet member %s (%d peers, peer cache fill on)", self, len(peerList))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -94,9 +156,55 @@ func main() {
 	} else {
 		log.Printf("drained cleanly")
 	}
-	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
+}
+
+func runCoordinator(addr string, peers []string, cfg cluster.CoordinatorConfig, drainTimeout time.Duration) {
+	if len(peers) == 0 {
+		fatal(fmt.Errorf("-coordinator requires -peers"))
+	}
+	c, err := cluster.NewCoordinator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv, bound, errCh, err := server.StartHTTP(addr, c.Handler())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simd listening on %s\n", bound)
+	nodes, shares := c.Ring().Ownership(4096)
+	for i, n := range nodes {
+		log.Printf("coordinator: shard %s owns %.1f%% of the keyspace", n, shares[i]*100)
+	}
+	log.Printf("coordinator listening on %s (%d peers)", bound, len(peers))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		fatal(err)
+	}
+	stop()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	c.Close()
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

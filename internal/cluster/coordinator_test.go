@@ -1,0 +1,616 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// worker is one in-process simd node.
+type worker struct {
+	srv *server.Server
+	ts  *httptest.Server
+	url string
+}
+
+// startWorker boots a real internal/server node behind an httptest
+// listener. mutate may adjust the config (e.g. Workers: 1); setFiller,
+// when non-nil, receives a hook that installs a PeerFiller after every
+// node's URL is known.
+func startWorker(t *testing.T, mutate func(*server.Config)) (*worker, *func(ctx context.Context, key string) ([]byte, bool)) {
+	t.Helper()
+	st, err := store.New(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fill func(ctx context.Context, key string) ([]byte, bool)
+	cfg := server.Config{
+		Store:        st,
+		QueueSize:    16,
+		Workers:      2,
+		SimWorkers:   2,
+		JobTimeout:   time.Minute,
+		Retries:      0,
+		RetryBackoff: time.Millisecond,
+		Logf:         t.Logf,
+		PeerFill: func(ctx context.Context, key string) ([]byte, bool) {
+			if fill == nil {
+				return nil, false
+			}
+			return fill(ctx, key)
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	w := &worker{srv: srv, ts: ts, url: ts.URL}
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return w, &fill
+}
+
+// kill severs the worker's network presence without waiting for
+// in-flight handlers: the listener closes and every open client
+// connection is dropped, like a SIGKILL would.
+func (w *worker) kill() {
+	w.ts.Listener.Close()
+	w.ts.CloseClientConnections()
+}
+
+func startFleet(t *testing.T, n int, mutate func(i int, cfg *server.Config)) ([]*worker, *Coordinator) {
+	t.Helper()
+	workers := make([]*worker, n)
+	fills := make([]*func(ctx context.Context, key string) ([]byte, bool), n)
+	urls := make([]string, n)
+	for i := range workers {
+		i := i
+		workers[i], fills[i] = startWorker(t, func(cfg *server.Config) {
+			if mutate != nil {
+				mutate(i, cfg)
+			}
+		})
+		urls[i] = workers[i].url
+	}
+	// Now that every URL is known, give each node a real peer filler.
+	for i, w := range workers {
+		pf, err := NewPeerFiller(w.url, urls, 16, 0, time.Second, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*fills[i] = pf.Fill
+	}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          urls,
+		VNodes:         16,
+		Replicas:       n,
+		HedgeAfterMin:  500 * time.Millisecond, // effectively off unless a test lowers it
+		HealthInterval: time.Hour,              // tests drive liveness explicitly
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return workers, c
+}
+
+func testSpec(seed uint64) server.RunSpec {
+	return server.RunSpec{Scheme: "rrob", Threshold: 16, Mixes: []string{"Mix 1"}, Budget: 2_000, Seed: seed}
+}
+
+// submitVia posts spec to handler with ?wait=1 and returns the parsed
+// envelope plus response metadata.
+type submitResp struct {
+	status int
+	node   string
+	hedged bool
+	Cache  string          `json:"cache"`
+	Status string          `json:"status"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func submitVia(t *testing.T, h http.Handler, spec server.RunSpec, tenant string) submitResp {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs?wait=1", bytes.NewReader(body))
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	out := submitResp{status: rec.Code, node: rec.Header().Get("X-Simd-Node"), hedged: rec.Header().Get("X-Simd-Hedged") != ""}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil && rec.Code == http.StatusOK {
+		t.Fatalf("bad response body (%d): %s", rec.Code, rec.Body.String())
+	}
+	return out
+}
+
+// specOwnedBy searches seeds until the spec's primary owner is the
+// given node, so tests can route deterministically.
+func specOwnedBy(t *testing.T, c *Coordinator, node string) server.RunSpec {
+	t.Helper()
+	for seed := uint64(1); seed < 500; seed++ {
+		spec := testSpec(seed)
+		key, err := server.SpecKey(spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Owners(key)[0] == node {
+			return spec
+		}
+	}
+	t.Fatal("no seed found whose primary is the requested node")
+	return server.RunSpec{}
+}
+
+// calibrateBudget sizes an instruction budget so one run of testSpec
+// takes roughly wallTarget on this machine (the race detector slows the
+// engine by orders of magnitude, so fixed budgets are untestable). It
+// measures a 50k-budget run on its own throwaway worker.
+func calibrateBudget(t *testing.T, wallTarget time.Duration) uint64 {
+	t.Helper()
+	w, _ := startWorker(t, nil)
+	spec := testSpec(424_242)
+	spec.Budget = 50_000
+	start := time.Now()
+	if r := submitVia(t, w.srv.Handler(), spec, ""); r.status != http.StatusOK {
+		t.Fatalf("calibration run: %+v", r)
+	}
+	rate := float64(spec.Budget) / time.Since(start).Seconds()
+	b := uint64(rate * wallTarget.Seconds())
+	if b < 100_000 {
+		b = 100_000
+	}
+	if b > 50_000_000 {
+		b = 50_000_000
+	}
+	t.Logf("calibrated: %.0f cycles/sec -> budget %d for ~%v", rate, b, wallTarget)
+	return b
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestShardingAndPeerCacheFill: a result simulated via the coordinator
+// lands on its shard owner; a client hitting a *different* node
+// directly is served through peer fill with no second simulation.
+func TestShardingAndPeerCacheFill(t *testing.T) {
+	workers, c := startFleet(t, 3, nil)
+	spec := testSpec(7)
+
+	r1 := submitVia(t, c.Handler(), spec, "tenant-1")
+	if r1.status != http.StatusOK || r1.Status != "done" || r1.Cache != "miss" {
+		t.Fatalf("first submit: %+v", r1)
+	}
+	// Exactly one node simulated, and it is the ring primary.
+	key, _ := server.SpecKey(spec, 0)
+	var simNode *worker
+	sims := 0
+	for _, w := range workers {
+		st := w.srv.Stats()
+		sims += int(st.Simulations)
+		if st.Simulations > 0 {
+			simNode = w
+		}
+	}
+	if sims != 1 || simNode == nil {
+		t.Fatalf("want exactly 1 simulation in the fleet, got %d", sims)
+	}
+	if owner := c.Owners(key)[0]; owner != simNode.url {
+		t.Fatalf("simulated on %s but ring primary is %s", simNode.url, owner)
+	}
+
+	// Hit a different node directly: peer fill, not re-simulation.
+	var other *worker
+	for _, w := range workers {
+		if w != simNode {
+			other = w
+			break
+		}
+	}
+	r2 := submitVia(t, other.srv.Handler(), spec, "")
+	if r2.status != http.StatusOK || r2.Cache != "hit" {
+		t.Fatalf("direct submit to non-owner: %+v", r2)
+	}
+	if !bytes.Equal(r2.Result, r1.Result) {
+		t.Fatal("peer-filled result differs from the original")
+	}
+	st := other.srv.Stats()
+	if st.PeerFillHits != 1 || st.Simulations != 0 {
+		t.Fatalf("non-owner stats: %+v", st)
+	}
+	if os := simNode.srv.Stats(); os.PeerServed != 1 {
+		t.Fatalf("owner did not serve the fill: %+v", os)
+	}
+}
+
+// TestChaosKillWorkerMidSweep kills a worker while its sweep is
+// running: the coordinator must reroute to a replica and the client
+// still gets a result byte-identical to an undisturbed run.
+func TestChaosKillWorkerMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs multi-second calibrated sweeps")
+	}
+	workers, c := startFleet(t, 3, nil)
+	byURL := map[string]*worker{}
+	for _, w := range workers {
+		byURL[w.url] = w
+	}
+
+	// Reference: an undisturbed single-node run of the same spec.
+	ref, _ := startWorker(t, nil)
+	// A spec big enough (~2s) to still be in flight when the kill lands.
+	spec := testSpec(11)
+	spec.Budget = calibrateBudget(t, 2*time.Second)
+	refResp := submitVia(t, ref.srv.Handler(), spec, "")
+	if refResp.status != http.StatusOK || refResp.Status != "done" {
+		t.Fatalf("reference run: %+v", refResp)
+	}
+
+	key, _ := server.SpecKey(spec, 0)
+	victim := byURL[c.Owners(key)[0]]
+
+	done := make(chan submitResp, 1)
+	go func() { done <- submitVia(t, c.Handler(), spec, "tenant-chaos") }()
+
+	// Wait until the victim is actually simulating, then kill it.
+	waitFor(t, "victim to start the sweep", func() bool { return victim.srv.Stats().Inflight > 0 })
+	victim.kill()
+
+	var r submitResp
+	select {
+	case r = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("submission never completed after the kill")
+	}
+	if r.status != http.StatusOK || r.Status != "done" {
+		t.Fatalf("post-kill response: %+v", r)
+	}
+	if !bytes.Equal(r.Result, refResp.Result) {
+		t.Fatal("rerouted result is not byte-identical to the reference run")
+	}
+	if r.node == victim.url {
+		t.Fatalf("response claims to come from the killed node %s", r.node)
+	}
+	st := c.Stats()
+	if st.Reroutes < 1 {
+		t.Fatalf("no reroute recorded: %+v", st)
+	}
+	// The forward path marked the dead node down without waiting for
+	// the prober.
+	if c.ring.IsAlive(victim.url) {
+		t.Fatal("killed node still marked alive")
+	}
+}
+
+// TestHedgedRequestWinsAndLoserIsCancelled pins the tail-latency path:
+// the primary is wedged (its single worker slot is occupied), the hedge
+// fires to the replica and wins, and the losing arm's job on the
+// primary is cancelled — freeing its queue slot — once the client is
+// answered.
+func TestHedgedRequestWinsAndLoserIsCancelled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs multi-second calibrated sweeps")
+	}
+	workers, c0 := startFleet(t, 2, func(i int, cfg *server.Config) {
+		cfg.Workers = 1 // one slot per node so a single blocker wedges it
+	})
+	c0.Close() // rebuild with a fast hedge below
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{workers[0].url, workers[1].url},
+		VNodes:         16,
+		Replicas:       2,
+		HedgeAfterMin:  30 * time.Millisecond,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	byURL := map[string]*worker{workers[0].url: workers[0], workers[1].url: workers[1]}
+	spec := specOwnedBy(t, c, workers[0].url)
+	primary := byURL[c.Owners(mustKey(t, spec))[0]]
+
+	// Wedge the primary: a long (~4s) detached run occupies its only
+	// slot.
+	blocker := testSpec(9999)
+	blocker.Budget = calibrateBudget(t, 4*time.Second)
+	bj, cached, err := primary.srv.Submit(context.Background(), blocker, true)
+	if err != nil || cached != nil {
+		t.Fatalf("blocker submit: %v", err)
+	}
+	waitFor(t, "blocker to occupy the slot", func() bool { return primary.srv.Stats().Inflight == 1 })
+
+	r := submitVia(t, c.Handler(), spec, "tenant-hedge")
+	if r.status != http.StatusOK || r.Status != "done" {
+		t.Fatalf("hedged submit: %+v", r)
+	}
+	if r.node == primary.url {
+		t.Fatalf("response came from the wedged primary")
+	}
+	if !r.hedged {
+		t.Fatal("winning response not marked as hedged")
+	}
+	st := c.Stats()
+	if st.HedgesFired < 1 || st.HedgesWon < 1 {
+		t.Fatalf("hedge counters: %+v", st)
+	}
+
+	// The losing arm is still queued behind the blocker on the primary,
+	// but the coordinator's cancel already severed its client — so once
+	// the blocker unwinds, the loser must drain as cancelled-while-queued
+	// without ever simulating.
+	waitFor(t, "loser to appear in the primary's queue", func() bool {
+		return primary.srv.Stats().QueueDepth >= 1
+	})
+	if !primary.srv.Cancel(bj.ID) {
+		t.Fatal("blocker cancel rejected")
+	}
+	// Once the blocker unwinds, the dequeued loser must be discarded as
+	// cancelled — freeing the queue and the slot without running.
+	waitFor(t, "loser job cancellation", func() bool {
+		st := primary.srv.Stats()
+		return st.Canceled >= 1 && st.QueueDepth == 0 && st.Inflight == 0
+	})
+	// The loser never consumed the freed slot for real work: the only
+	// simulation the primary ever started was the blocker's.
+	if sims := primary.srv.Stats().Simulations; sims != 1 {
+		t.Fatalf("primary simulations = %d, want just the blocker's", sims)
+	}
+	// And the spec was simulated exactly once fleet-wide — on the
+	// winning replica.
+	if sims := byURL[r.node].srv.Stats().Simulations; sims != 1 {
+		t.Fatalf("replica simulations = %d", sims)
+	}
+}
+
+func mustKey(t *testing.T, spec server.RunSpec) string {
+	t.Helper()
+	key, err := server.SpecKey(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestRerouteOn429 proves a shard answering 429 is retried on the next
+// replica instead of surfacing the backpressure to the client.
+func TestRerouteOn429(t *testing.T) {
+	// A fake always-overloaded node plus a real worker.
+	overloaded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/healthz") {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer overloaded.Close()
+	real, _ := startWorker(t, nil)
+
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{overloaded.URL, real.url},
+		VNodes:         16,
+		Replicas:       2,
+		HedgeAfterMin:  time.Second,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	spec := specOwnedBy(t, c, overloaded.URL)
+	r := submitVia(t, c.Handler(), spec, "")
+	if r.status != http.StatusOK || r.Status != "done" {
+		t.Fatalf("submit via overloaded primary: %+v", r)
+	}
+	if r.node != real.url {
+		t.Fatalf("served by %s, want the real node", r.node)
+	}
+	if st := c.Stats(); st.Reroutes429 < 1 {
+		t.Fatalf("429 reroute not counted: %+v", st)
+	}
+}
+
+// TestQuotaRejectsOverLimitTenant: the token bucket answers 429 before
+// any forwarding happens.
+func TestQuotaRejectsOverLimitTenant(t *testing.T) {
+	w, _ := startWorker(t, nil)
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{w.url},
+		VNodes:         16,
+		QuotaRate:      0.001, // effectively no refill during the test
+		QuotaBurst:     2,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	spec := testSpec(3)
+	for i := 0; i < 2; i++ {
+		if r := submitVia(t, c.Handler(), spec, "greedy"); r.status != http.StatusOK {
+			t.Fatalf("request %d inside burst rejected: %+v", i, r)
+		}
+	}
+	r := submitVia(t, c.Handler(), spec, "greedy")
+	if r.status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request got %d, want 429", r.status)
+	}
+	// Another tenant is unaffected.
+	if r := submitVia(t, c.Handler(), spec, "patient"); r.status != http.StatusOK {
+		t.Fatalf("other tenant rejected: %+v", r)
+	}
+	if st := c.Stats(); st.QuotaRejected != 1 {
+		t.Fatalf("quota counter: %+v", st)
+	}
+}
+
+// TestFleetAggregation checks /v1/fleet merges node stats, ownership
+// and coordinator counters.
+func TestFleetAggregation(t *testing.T) {
+	workers, c := startFleet(t, 3, nil)
+	submitVia(t, c.Handler(), testSpec(21), "t")
+	submitVia(t, c.Handler(), testSpec(22), "t")
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/fleet", nil)
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/fleet -> %d", rec.Code)
+	}
+	var fleet Fleet
+	if err := json.Unmarshal(rec.Body.Bytes(), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Nodes) != len(workers) {
+		t.Fatalf("fleet nodes: %+v", fleet.Nodes)
+	}
+	var share float64
+	for _, n := range fleet.Nodes {
+		if !n.Alive || n.Stats == nil {
+			t.Fatalf("node %s: alive=%v stats=%v err=%s", n.URL, n.Alive, n.Stats != nil, n.Error)
+		}
+		share += n.Ownership
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("ownership shares sum to %f", share)
+	}
+	if fleet.Totals.Submitted < 2 || fleet.Totals.Simulations != 2 {
+		t.Fatalf("totals: %+v", fleet.Totals)
+	}
+	if fleet.Coordinator.Forwards != 2 || fleet.Coordinator.CacheMisses != 2 {
+		t.Fatalf("coordinator stats: %+v", fleet.Coordinator)
+	}
+
+	// The metrics endpoint renders the same counters in Prometheus
+	// text form.
+	rec = httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"simd_cluster_nodes 3",
+		"simd_cluster_nodes_alive 3",
+		"simd_cluster_forwards_total 2",
+		"simd_cluster_ownership{node=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHealthProberRevivesNode: the background prober flips liveness
+// both ways.
+func TestHealthProberRevivesNode(t *testing.T) {
+	var down sync.Mutex
+	dead := false
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		down.Lock()
+		d := dead
+		down.Unlock()
+		if d {
+			http.Error(w, "dying", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer node.Close()
+
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{node.URL},
+		VNodes:         8,
+		HealthInterval: 10 * time.Millisecond,
+		HealthTimeout:  200 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	waitFor(t, "initial liveness", func() bool { return c.ring.AliveCount() == 1 })
+	down.Lock()
+	dead = true
+	down.Unlock()
+	waitFor(t, "death detection", func() bool { return c.ring.AliveCount() == 0 })
+	down.Lock()
+	dead = false
+	down.Unlock()
+	waitFor(t, "revival", func() bool { return c.ring.AliveCount() == 1 })
+	if st := c.Stats(); st.NodeDeaths < 1 || st.NodeRevivals < 1 {
+		t.Fatalf("transition counters: %+v", st)
+	}
+}
+
+// TestProxyJobRoutes: async submits can be watched through the
+// coordinator, which proxies job endpoints to the owning node.
+func TestProxyJobRoutes(t *testing.T) {
+	_, c := startFleet(t, 2, nil)
+	body, _ := json.Marshal(testSpec(31))
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(body)) // no wait: 202 + id
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async submit -> %d: %s", rec.Code, rec.Body.String())
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil || sub.ID == "" {
+		t.Fatalf("no job id in %s", rec.Body.String())
+	}
+
+	waitFor(t, "proxied job to finish", func() bool {
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/"+sub.ID, nil))
+		if rec.Code != http.StatusOK {
+			return false
+		}
+		var snap struct {
+			Status string `json:"status"`
+		}
+		return json.Unmarshal(rec.Body.Bytes(), &snap) == nil && snap.Status == "done"
+	})
+
+	// Unknown jobs 404 instead of guessing a node.
+	rec = httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job -> %d", rec.Code)
+	}
+}

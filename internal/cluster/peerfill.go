@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// PeerFiller lets a worker answer a locally missed submission from a
+// peer's cache instead of re-simulating: on a miss it asks the key's
+// ring owners (where the coordinator would have cached the result) for
+// GET /v1/cache/{key}. Plug Fill into server.Config.PeerFill.
+//
+// Fill only ever reads peers' *local* caches (the cache endpoint never
+// recurses into its own peer fill), so two nodes missing the same key
+// cannot chase each other.
+type PeerFiller struct {
+	ring    *Ring
+	self    string
+	fanout  int
+	timeout time.Duration
+	client  *http.Client
+}
+
+// NewPeerFiller builds a filler for the node advertised as self over
+// the full peer list (which should include self, so the ring every
+// node computes is identical). fanout caps how many owners are asked
+// per miss (<= 0 means 3); timeout bounds each attempt (<= 0 means 1s).
+func NewPeerFiller(self string, peers []string, vnodes, fanout int, timeout time.Duration, client *http.Client) (*PeerFiller, error) {
+	ring, err := NewRing(peers, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	if fanout <= 0 {
+		fanout = 3
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &PeerFiller{ring: ring, self: self, fanout: fanout, timeout: timeout, client: client}, nil
+}
+
+// Fill fetches key from its owners, skipping self. The first peer that
+// answers with valid JSON wins; every failure mode (down peer, 404,
+// garbage) just means "not filled" and the caller simulates locally.
+func (p *PeerFiller) Fill(ctx context.Context, key string) ([]byte, bool) {
+	asked := 0
+	for _, owner := range p.ring.Owners(key, 0) {
+		if owner == p.self {
+			continue
+		}
+		if asked >= p.fanout {
+			break
+		}
+		asked++
+		if data, ok := p.fetch(ctx, owner, key); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+func (p *PeerFiller) fetch(ctx context.Context, owner, key string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/cache/%s", owner, key), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || !json.Valid(data) {
+		return nil, false
+	}
+	return data, true
+}

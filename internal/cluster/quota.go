@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+)
+
+// Quotas is a per-tenant token-bucket rate limiter in front of the
+// coordinator. Every tenant gets the same rate/burst; buckets are
+// created lazily on first use and refilled on demand from elapsed
+// time, so an idle tenant costs nothing.
+type Quotas struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas builds a limiter granting rate tokens/sec with the given
+// burst per tenant. rate <= 0 disables limiting (Allow always true).
+func NewQuotas(rate, burst float64) *Quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Quotas{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from tenant's bucket, reporting whether one
+// was available.
+func (q *Quotas) Allow(tenant string) bool {
+	if q.rate <= 0 {
+		return true
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// waiter is one queued Acquire, tagged with its virtual finish time.
+type waiter struct {
+	finish    float64
+	grant     chan struct{}
+	granted   bool
+	cancelled bool
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int           { return len(h) }
+func (h waiterHeap) Less(i, j int) bool { return h[i].finish < h[j].finish }
+func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)        { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// FairQueue bounds the coordinator's concurrent forwards at slots and,
+// when oversubscribed, dequeues waiting tenants in weighted-fair order
+// (virtual-time WFQ: each grant advances a tenant's virtual time by
+// 1/weight, and the globally smallest finish tag runs next). A tenant
+// hammering the coordinator therefore queues behind itself, not behind
+// everyone else.
+type FairQueue struct {
+	slots  int
+	weight func(tenant string) float64
+
+	mu       sync.Mutex
+	inflight int
+	vtime    float64
+	finishes map[string]float64 // per-tenant last finish tag
+	waiting  waiterHeap
+}
+
+// NewFairQueue builds a queue admitting slots concurrent holders.
+// weight maps a tenant to its share (nil or non-positive values mean
+// weight 1).
+func NewFairQueue(slots int, weight func(tenant string) float64) *FairQueue {
+	if slots <= 0 {
+		slots = 64
+	}
+	return &FairQueue{
+		slots:    slots,
+		weight:   weight,
+		finishes: make(map[string]float64),
+	}
+}
+
+// Acquire blocks until the caller holds a slot or ctx is done. On
+// success the caller must Release exactly once.
+func (f *FairQueue) Acquire(ctx context.Context, tenant string) error {
+	f.mu.Lock()
+	if f.inflight < f.slots && len(f.waiting) == 0 {
+		f.inflight++
+		f.mu.Unlock()
+		return nil
+	}
+	w := &waiter{finish: f.finishTag(tenant), grant: make(chan struct{})}
+	heap.Push(&f.waiting, w)
+	f.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		if w.granted {
+			// Lost the race: the grant landed while we were leaving.
+			// Hand the slot straight back.
+			f.mu.Unlock()
+			f.Release()
+			return ctx.Err()
+		}
+		w.cancelled = true
+		f.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// finishTag computes the waiter's virtual finish time. Callers hold
+// f.mu.
+func (f *FairQueue) finishTag(tenant string) float64 {
+	wt := 1.0
+	if f.weight != nil {
+		if v := f.weight(tenant); v > 0 {
+			wt = v
+		}
+	}
+	start := f.vtime
+	if last := f.finishes[tenant]; last > start {
+		start = last
+	}
+	finish := start + 1/wt
+	f.finishes[tenant] = finish
+	return finish
+}
+
+// Release returns a slot and grants it to the fairest waiter.
+func (f *FairQueue) Release() {
+	f.mu.Lock()
+	f.inflight--
+	for f.inflight < f.slots && len(f.waiting) > 0 {
+		w := heap.Pop(&f.waiting).(*waiter)
+		if w.cancelled {
+			continue
+		}
+		w.granted = true
+		f.inflight++
+		if w.finish > f.vtime {
+			f.vtime = w.finish
+		}
+		close(w.grant)
+	}
+	f.mu.Unlock()
+}
+
+// Depth returns the number of queued (not yet granted) acquires.
+func (f *FairQueue) Depth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiting)
+}

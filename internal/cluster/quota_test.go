@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuotasBurstAndRefill(t *testing.T) {
+	q := NewQuotas(10, 2) // 10 tokens/sec, burst 2
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	if !q.Allow("t1") || !q.Allow("t1") {
+		t.Fatal("burst of 2 not honored")
+	}
+	if q.Allow("t1") {
+		t.Fatal("third immediate request allowed")
+	}
+	// Tenants are isolated.
+	if !q.Allow("t2") {
+		t.Fatal("fresh tenant rejected")
+	}
+	// 100ms later one token (10/sec) has refilled.
+	now = now.Add(100 * time.Millisecond)
+	if !q.Allow("t1") {
+		t.Fatal("refilled token not granted")
+	}
+	if q.Allow("t1") {
+		t.Fatal("over-refilled")
+	}
+	// Refill caps at burst.
+	now = now.Add(time.Hour)
+	if !q.Allow("t1") || !q.Allow("t1") || q.Allow("t1") {
+		t.Fatal("burst cap not applied after idle period")
+	}
+}
+
+func TestQuotasDisabled(t *testing.T) {
+	q := NewQuotas(0, 0)
+	for i := 0; i < 1000; i++ {
+		if !q.Allow("anyone") {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
+
+// grabSlot acquires and returns a release func.
+func grabSlot(t *testing.T, f *FairQueue, tenant string) func() {
+	t.Helper()
+	if err := f.Acquire(context.Background(), tenant); err != nil {
+		t.Fatal(err)
+	}
+	return f.Release
+}
+
+// queueAcquire starts an Acquire in a goroutine and waits until it is
+// enqueued, so test enqueue order is deterministic.
+func queueAcquire(t *testing.T, f *FairQueue, tenant string, order *[]string, mu *sync.Mutex, wg *sync.WaitGroup) {
+	t.Helper()
+	depth := f.Depth()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := f.Acquire(context.Background(), tenant); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		*order = append(*order, tenant)
+		mu.Unlock()
+		f.Release()
+	}()
+	for i := 0; i < 1000 && f.Depth() == depth; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if f.Depth() == depth {
+		t.Fatalf("acquire for %s never queued", tenant)
+	}
+}
+
+func TestFairQueueInterleavesTenants(t *testing.T) {
+	f := NewFairQueue(1, nil)
+	release := grabSlot(t, f, "holder")
+
+	var (
+		order []string
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+	)
+	// Tenant A floods three requests, then B queues one. Without
+	// fairness B would wait behind all of A; with WFQ its finish tag
+	// (1) beats A's second (2) and third (3).
+	queueAcquire(t, f, "A", &order, &mu, &wg)
+	queueAcquire(t, f, "A", &order, &mu, &wg)
+	queueAcquire(t, f, "A", &order, &mu, &wg)
+	queueAcquire(t, f, "B", &order, &mu, &wg)
+
+	release()
+	wg.Wait()
+	if len(order) != 4 {
+		t.Fatalf("order %v", order)
+	}
+	pos := map[string][]int{}
+	for i, tn := range order {
+		pos[tn] = append(pos[tn], i)
+	}
+	if b := pos["B"][0]; b > 1 {
+		t.Fatalf("B dequeued at position %d behind A's flood: %v", b, order)
+	}
+}
+
+func TestFairQueueWeights(t *testing.T) {
+	f := NewFairQueue(1, func(tenant string) float64 {
+		if tenant == "heavy" {
+			return 2
+		}
+		return 1
+	})
+	release := grabSlot(t, f, "holder")
+	var (
+		order []string
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+	)
+	// heavy finishes: .5, 1, 1.5, 2 — light: 1, 2. In the first four
+	// grants heavy must get three (ties at 1 and 2 are unordered).
+	for i := 0; i < 4; i++ {
+		queueAcquire(t, f, "heavy", &order, &mu, &wg)
+	}
+	queueAcquire(t, f, "light", &order, &mu, &wg)
+	queueAcquire(t, f, "light", &order, &mu, &wg)
+	release()
+	wg.Wait()
+	heavyInFirstFour := 0
+	for _, tn := range order[:4] {
+		if tn == "heavy" {
+			heavyInFirstFour++
+		}
+	}
+	if heavyInFirstFour < 3 {
+		t.Fatalf("heavy (weight 2) got %d of the first 4 grants: %v", heavyInFirstFour, order)
+	}
+}
+
+func TestFairQueueCancelledWaiterSkipped(t *testing.T) {
+	f := NewFairQueue(1, nil)
+	release := grabSlot(t, f, "holder")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.Acquire(ctx, "quitter") }()
+	for i := 0; i < 1000 && f.Depth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+
+	// The cancelled waiter must not absorb the next grant.
+	var wg sync.WaitGroup
+	var got bool
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := f.Acquire(context.Background(), "live"); err != nil {
+			errCh <- err
+			return
+		}
+		mu.Lock()
+		got = true
+		mu.Unlock()
+		f.Release()
+	}()
+	release()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if !got {
+		t.Fatal("live waiter never granted")
+	}
+}
+
+func TestLatencyTrackerQuantiles(t *testing.T) {
+	l := newLatencyTracker(128)
+	if l.Quantile(0.95) != 0 {
+		t.Fatal("empty tracker should report 0")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Quantile(0.50); got < 45*time.Millisecond || got > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Quantile(0.99); got < 95*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	// The window slides: after 128 more fast observations the old slow
+	// tail is gone.
+	for i := 0; i < 128; i++ {
+		l.Observe(time.Millisecond)
+	}
+	if got := l.Quantile(0.99); got != time.Millisecond {
+		t.Fatalf("p99 after window slide = %v", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Package cluster turns single cmd/simd nodes into a horizontally
+// scaled fleet. A coordinator shards each submission by its
+// content-address cache key over a consistent-hash ring of worker
+// nodes, hedges slow requests onto a replica after an observed latency
+// percentile, reroutes around dead or overloaded (429) shards, and
+// enforces per-tenant token-bucket quotas with weighted-fair dequeue in
+// front of the fan-out. Workers stay exactly what internal/server made
+// them — bounded queue, singleflight, content-addressed cache — plus a
+// peer cache-fill client so any node can serve any cached result
+// without re-simulating.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes and health-aware
+// lookups. Membership is fixed at construction; liveness is toggled by
+// the health checker and by forward-path connection failures.
+type Ring struct {
+	mu     sync.RWMutex
+	points []point // sorted by hash
+	nodes  []string
+	alive  map[string]bool
+}
+
+// ringHash places s on the 64-bit ring keyspace. SHA-256 keeps vnode
+// placement both well-mixed and platform-independent: the same peer
+// list yields the same shard map on every node, which is what lets
+// workers predict where the coordinator cached a key.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring of the given nodes with vnodes virtual nodes
+// each (vnodes <= 0 selects the default 64). Node order does not
+// matter; duplicates are rejected.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{
+		nodes: append([]string(nil), nodes...),
+		alive: make(map[string]bool, len(nodes)),
+	}
+	sort.Strings(r.nodes)
+	for i := 1; i < len(r.nodes); i++ {
+		if r.nodes[i] == r.nodes[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", r.nodes[i])
+		}
+	}
+	r.points = make([]point, 0, len(nodes)*vnodes)
+	for _, n := range r.nodes {
+		r.alive[n] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// SetAlive marks a node's liveness and reports whether that changed.
+func (r *Ring) SetAlive(node string, alive bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[node]; !ok {
+		return false
+	}
+	if r.alive[node] == alive {
+		return false
+	}
+	r.alive[node] = alive
+	return true
+}
+
+// IsAlive reports a node's current liveness.
+func (r *Ring) IsAlive(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alive[node]
+}
+
+// AliveCount returns how many members are currently healthy.
+func (r *Ring) AliveCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, node := range r.nodes {
+		if r.alive[node] {
+			n++
+		}
+	}
+	return n
+}
+
+// Owners returns up to max distinct nodes for key in preference order:
+// ring order starting at key's successor, with nodes currently marked
+// dead demoted behind every live one (they remain last-resort targets —
+// liveness is advisory, and a "dead" node may answer). max <= 0 returns
+// every member.
+func (r *Ring) Owners(key string, max int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if max <= 0 || max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.nodes))
+	ordered := make([]string, 0, len(r.nodes))
+	for n := 0; n < len(r.points) && len(ordered) < len(r.nodes); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			ordered = append(ordered, p.node)
+		}
+	}
+	out := make([]string, 0, max)
+	for _, node := range ordered { // live nodes keep ring order
+		if r.alive[node] {
+			out = append(out, node)
+		}
+	}
+	for _, node := range ordered { // dead ones trail as a last resort
+		if !r.alive[node] {
+			out = append(out, node)
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Ownership estimates each node's share of the keyspace by probing
+// evenly spaced ring positions. It returns parallel slices (sorted by
+// node) rather than a map so callers can render it deterministically.
+func (r *Ring) Ownership(samples int) ([]string, []float64) {
+	if samples <= 0 {
+		samples = 1024
+	}
+	counts := make(map[string]int, len(r.nodes))
+	r.mu.RLock()
+	step := ^uint64(0) / uint64(samples)
+	for i := 0; i < samples; i++ {
+		h := uint64(i) * step
+		j := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+		counts[r.points[j%len(r.points)].node]++
+	}
+	nodes := append([]string(nil), r.nodes...)
+	r.mu.RUnlock()
+	shares := make([]float64, len(nodes))
+	for i, n := range nodes {
+		shares[i] = float64(counts[n]) / float64(samples)
+	}
+	return nodes, shares
+}

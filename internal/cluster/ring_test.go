@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func threeNodes() []string {
+	return []string{"http://node-a:1", "http://node-b:1", "http://node-c:1"}
+}
+
+func TestRingOwnersDeterministicAndDistinct(t *testing.T) {
+	r1, err := NewRing(threeNodes(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second ring built from the same members (different order) must
+	// agree on every routing decision — workers and the coordinator
+	// each build their own.
+	r2, err := NewRing([]string{"http://node-c:1", "http://node-a:1", "http://node-b:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"k1", "k2", "deadbeef", "0000", "zzzz"} {
+		o1 := r1.Owners(key, 0)
+		o2 := r2.Owners(key, 0)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("rings disagree for %q: %v vs %v", key, o1, o2)
+		}
+		if len(o1) != 3 {
+			t.Fatalf("want all 3 distinct owners, got %v", o1)
+		}
+		seen := map[string]bool{}
+		for _, n := range o1 {
+			if seen[n] {
+				t.Fatalf("duplicate owner in %v", o1)
+			}
+			seen[n] = true
+		}
+		if got := r1.Owners(key, 2); len(got) != 2 || got[0] != o1[0] || got[1] != o1[1] {
+			t.Fatalf("Owners(_, 2) = %v, want prefix of %v", got, o1)
+		}
+	}
+}
+
+func TestRingDeadNodeDemoted(t *testing.T) {
+	r, _ := NewRing(threeNodes(), 64)
+	key := "some-content-hash"
+	before := r.Owners(key, 0)
+	primary := before[0]
+	if !r.SetAlive(primary, false) {
+		t.Fatal("SetAlive(false) reported no change")
+	}
+	after := r.Owners(key, 0)
+	if after[0] == primary {
+		t.Fatalf("dead primary still first: %v", after)
+	}
+	if after[len(after)-1] != primary {
+		t.Fatalf("dead node should trail as last resort: %v", after)
+	}
+	if r.AliveCount() != 2 {
+		t.Fatalf("alive count %d", r.AliveCount())
+	}
+	// Revival restores the original preference order.
+	r.SetAlive(primary, true)
+	if got := r.Owners(key, 0); !reflect.DeepEqual(got, before) {
+		t.Fatalf("after revival %v, want %v", got, before)
+	}
+	if r.SetAlive("http://not-a-member:9", false) {
+		t.Fatal("non-member SetAlive reported a change")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, _ := NewRing(threeNodes(), 64)
+	nodes, shares := r.Ownership(4096)
+	if len(nodes) != 3 {
+		t.Fatalf("nodes %v", nodes)
+	}
+	var sum float64
+	for i, s := range shares {
+		sum += s
+		// With 64 vnodes each, shares should be within a loose band of
+		// the ideal 1/3.
+		if s < 0.15 || s > 0.55 {
+			t.Fatalf("node %s owns %.3f of the keyspace — ring is unbalanced (%v %v)", nodes[i], s, nodes, shares)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %f", sum)
+	}
+}
+
+func TestRingRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package report
+
+// LoadSummary is cmd/simdload's machine-readable result: one load run
+// against a simd node or coordinator, in the same spirit as Document —
+// a stable schema that cmd/checkbench can gate on (throughput floors,
+// p99 ceilings) without scraping human-oriented output.
+type LoadSummary struct {
+	Target      string  `json:"target"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Tenants     int     `json:"tenants"`
+	DurationSec float64 `json:"duration_sec"`
+
+	OK        int `json:"ok"`
+	Errors    int `json:"errors"`
+	Rejected  int `json:"rejected"` // 429s surfaced to the client
+	CacheHits int `json:"cache_hits"`
+	CacheMiss int `json:"cache_misses"`
+	Hedged    int `json:"hedged"` // answered by a hedged backup request
+
+	Throughput   float64 `json:"throughput_rps"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+
+	// TenantRequests counts per-tenant submissions in tenant order
+	// ("t0".."tN-1"), exposing the Zipf skew that drove the run.
+	TenantRequests []int `json:"tenant_requests,omitempty"`
+}

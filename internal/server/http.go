@@ -14,6 +14,9 @@ import (
 //	GET    /v1/runs/{id}       job status (+ result when done)
 //	DELETE /v1/runs/{id}       cancel a queued or running job
 //	GET    /v1/runs/{id}/events NDJSON progress stream
+//	GET    /v1/cache           cached content hashes on this node
+//	GET    /v1/cache/{key}     raw cached result (peer fill / warm-up)
+//	GET    /v1/stats           Stats as JSON (fleet aggregation)
 //	GET    /metrics            Prometheus-style text metrics
 //	GET    /healthz            liveness
 func (s *Server) Handler() http.Handler {
@@ -22,6 +25,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/cache", s.handleCacheKeys)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -47,7 +53,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wait := r.URL.Query().Get("wait") != ""
-	job, cached, err := s.Submit(spec, !wait)
+	job, cached, err := s.Submit(r.Context(), spec, !wait)
 	switch {
 	case errors.Is(err, ErrBadSpec):
 		writeError(w, http.StatusBadRequest, err)
@@ -140,6 +146,35 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCacheGet serves one locally cached result to a peer (or a
+// warm-up client). It deliberately consults only the local store —
+// never PeerFill — so two nodes missing the same key cannot chase each
+// other in a fill loop.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if len(key) != 64 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed cache key %q", key))
+		return
+	}
+	data, ok := s.cfg.Store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("key %s not cached here", key[:12]))
+		return
+	}
+	s.peerServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleCacheKeys(w http.ResponseWriter, r *http.Request) {
+	keys := s.cfg.Store.Keys()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "keys": keys})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -176,6 +211,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"simd_cache_corrupt_total", "counter", st.Cache.Corrupt},
 		{"simd_cache_bytes", "gauge", st.Cache.Bytes},
 		{"simd_cache_entries", "gauge", st.Cache.Entries},
+		{"simd_cache_disk_bytes", "gauge", st.Cache.DiskBytes},
+		{"simd_cache_disk_entries", "gauge", st.Cache.DiskEntries},
+		{"simd_cluster_peer_fill_hits_total", "counter", st.PeerFillHits},
+		{"simd_cluster_peer_fill_misses_total", "counter", st.PeerFillMisses},
+		{"simd_cluster_peer_served_total", "counter", st.PeerServed},
 	} {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", m.name, m.typ, m.name, m.value)
 	}

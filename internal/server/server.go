@@ -127,6 +127,12 @@ type Config struct {
 	RetryBackoff time.Duration // initial backoff, doubled per retry (default 250ms)
 	MaxBudget    uint64        // largest accepted per-thread budget (default 5M)
 	Logf         func(format string, args ...any)
+
+	// PeerFill, when set (cluster mode), is consulted after a local
+	// cache miss and before enqueueing a simulation: if a peer node
+	// already holds the result for key, it is adopted into the local
+	// store and served without re-simulating.
+	PeerFill func(ctx context.Context, key string) ([]byte, bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +179,13 @@ type Stats struct {
 	Draining    bool
 	Cache       store.Stats
 
+	// Cluster-mode counters: peer cache fills attempted on local
+	// misses (hit = adopted from a peer without re-simulating) and
+	// cache entries this node served to peers via GET /v1/cache/{key}.
+	PeerFillHits   uint64
+	PeerFillMisses uint64
+	PeerServed     uint64
+
 	// StallCycles maps telemetry stall-cause names to thread-cycles
 	// charged, summed over every sweep this process ran; ActiveCycles is
 	// the matching dispatch-active total.
@@ -200,6 +213,7 @@ type Server struct {
 	submitted, coalesced, rejected            atomic.Uint64
 	completed, failed, canceled               atomic.Uint64
 	retries, simulations, cycles, simNanosSum atomic.Uint64
+	peerFillHits, peerFillMisses, peerServed  atomic.Uint64
 
 	// Per-cause thread-cycle totals aggregated over every sweep this
 	// process ran, indexed by telemetry.Cause; exposed on /metrics.
@@ -235,15 +249,22 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Submit resolves the spec, consults the cache, coalesces with any
-// identical in-flight job, or enqueues a new one. It returns either the
-// cached result bytes (job == nil) or a job to watch. detach marks
-// fire-and-forget submissions whose jobs survive client disconnects;
-// attached submissions (wait=1) must pair with Job.Release.
-func (s *Server) Submit(spec RunSpec, detach bool) (*Job, []byte, error) {
-	spec, scheme, mixes, err := spec.normalize(s.cfg)
+// SpecKey resolves a spec to its content-address cache key without
+// submitting it. maxBudget of 0 applies the default limit. The
+// coordinator uses this to shard submissions exactly the way workers
+// cache them.
+func SpecKey(spec RunSpec, maxBudget uint64) (string, error) {
+	cfg := Config{MaxBudget: maxBudget}.withDefaults()
+	_, _, _, key, err := resolveKey(spec, cfg)
+	return key, err
+}
+
+// resolveKey normalizes the spec and derives the content address every
+// cache layer (local store, peers, coordinator routing) agrees on.
+func resolveKey(spec RunSpec, cfg Config) (RunSpec, experiments.SchemeSpec, []workload.Mix, string, error) {
+	spec, scheme, mixes, err := spec.normalize(cfg)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
+		return spec, scheme, mixes, "", fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
 	opt := scheme.Opt
 	opt.Budget = spec.Budget
@@ -253,6 +274,19 @@ func (s *Server) Submit(spec RunSpec, detach bool) (*Job, []byte, error) {
 		names[i] = m.Name
 	}
 	key, err := store.Key(keySpec{Options: opt, Mixes: names, Budget: spec.Budget, Seed: spec.Seed})
+	return spec, scheme, mixes, key, err
+}
+
+// Submit resolves the spec, consults the cache (local, then peers when
+// configured), coalesces with any identical in-flight job, or enqueues
+// a new one. It returns either the cached result bytes (job == nil) or
+// a job to watch. ctx bounds only the submission itself (peer-fill
+// fetches); the job's own lifetime is governed by its waiters. detach
+// marks fire-and-forget submissions whose jobs survive client
+// disconnects; attached submissions (wait=1) must pair with
+// Job.Release.
+func (s *Server) Submit(ctx context.Context, spec RunSpec, detach bool) (*Job, []byte, error) {
+	spec, scheme, mixes, key, err := resolveKey(spec, s.cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -260,11 +294,30 @@ func (s *Server) Submit(spec RunSpec, detach bool) (*Job, []byte, error) {
 	if data, ok := s.cfg.Store.Get(key); ok {
 		return nil, data, nil
 	}
+	if s.cfg.PeerFill != nil {
+		if data, ok := s.cfg.PeerFill(ctx, key); ok {
+			s.peerFillHits.Add(1)
+			if err := s.cfg.Store.Put(key, data); err != nil {
+				s.cfg.Logf("simd: peer fill put %s: %v", key[:12], err)
+			}
+			return nil, data, nil
+		}
+		s.peerFillMisses.Add(1)
+	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return nil, nil, ErrDraining
+	}
+	// The peer consult above runs unlocked and can take hundreds of
+	// milliseconds; a concurrent identical submission may have enqueued,
+	// simulated and unregistered entirely inside that window. Re-check
+	// the cache under the lock so the result is adopted instead of
+	// re-simulated.
+	if data, ok := s.cfg.Store.Get(key); ok {
+		s.mu.Unlock()
+		return nil, data, nil
 	}
 	if j := s.active[key]; j != nil {
 		if j.ctx.Err() == nil {
@@ -496,21 +549,24 @@ func (s *Server) Stats() Stats {
 		stalls[c.String()] = s.stallCycles[c].Load()
 	}
 	return Stats{
-		QueueDepth:   len(s.queue),
-		Inflight:     s.inflight.Load(),
-		Submitted:    s.submitted.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Rejected:     s.rejected.Load(),
-		Completed:    s.completed.Load(),
-		Failed:       s.failed.Load(),
-		Canceled:     s.canceled.Load(),
-		Retries:      s.retries.Load(),
-		Simulations:  s.simulations.Load(),
-		Cycles:       s.cycles.Load(),
-		SimSeconds:   float64(s.simNanosSum.Load()) / 1e9,
-		Draining:     draining,
-		Cache:        s.cfg.Store.Stats(),
-		StallCycles:  stalls,
-		ActiveCycles: s.activeCycles.Load(),
+		QueueDepth:     len(s.queue),
+		Inflight:       s.inflight.Load(),
+		Submitted:      s.submitted.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Rejected:       s.rejected.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Canceled:       s.canceled.Load(),
+		Retries:        s.retries.Load(),
+		Simulations:    s.simulations.Load(),
+		Cycles:         s.cycles.Load(),
+		SimSeconds:     float64(s.simNanosSum.Load()) / 1e9,
+		Draining:       draining,
+		Cache:          s.cfg.Store.Stats(),
+		PeerFillHits:   s.peerFillHits.Load(),
+		PeerFillMisses: s.peerFillMisses.Load(),
+		PeerServed:     s.peerServed.Load(),
+		StallCycles:    stalls,
+		ActiveCycles:   s.activeCycles.Load(),
 	}
 }

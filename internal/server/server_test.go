@@ -68,7 +68,7 @@ func waitDone(t *testing.T, j *Job) {
 
 func TestSubmitRunsAndCaches(t *testing.T) {
 	s := newTestServer(t, nil)
-	j, cached, err := s.Submit(tinySpec(), true)
+	j, cached, err := s.Submit(context.Background(), tinySpec(), true)
 	if err != nil || cached != nil {
 		t.Fatalf("first submit: %v cached=%v", err, cached != nil)
 	}
@@ -90,7 +90,7 @@ func TestSubmitRunsAndCaches(t *testing.T) {
 
 	// Resubmission: byte-identical cached result, no new simulation.
 	sims := s.Stats().Simulations
-	j2, cached2, err := s.Submit(tinySpec(), true)
+	j2, cached2, err := s.Submit(context.Background(), tinySpec(), true)
 	if err != nil || j2 != nil {
 		t.Fatalf("resubmit: %v job=%v", err, j2)
 	}
@@ -99,6 +99,81 @@ func TestSubmitRunsAndCaches(t *testing.T) {
 	}
 	if got := s.Stats().Simulations; got != sims {
 		t.Fatalf("resubmission re-simulated: %d -> %d", sims, got)
+	}
+}
+
+// TestPeerFillServesWithoutSimulating verifies a configured PeerFill
+// hook short-circuits a local miss: the peer's bytes are returned,
+// adopted into the local store, and no simulation runs.
+func TestPeerFillServesWithoutSimulating(t *testing.T) {
+	payload := []byte(`{"series":[],"from":"peer"}`)
+	var fills int
+	s := newTestServer(t, func(c *Config) {
+		c.PeerFill = func(ctx context.Context, key string) ([]byte, bool) {
+			fills++
+			return payload, true
+		}
+	})
+	j, cached, err := s.Submit(context.Background(), tinySpec(), true)
+	if err != nil || j != nil {
+		t.Fatalf("peer-filled submit: err=%v job=%v", err, j)
+	}
+	if !bytes.Equal(cached, payload) {
+		t.Fatalf("got %q, want peer payload", cached)
+	}
+	st := s.Stats()
+	if st.PeerFillHits != 1 || st.Simulations != 0 {
+		t.Fatalf("stats after peer fill: %+v", st)
+	}
+	// The adopted result now lives in the local store: the next
+	// identical submission is a plain cache hit with no second fill.
+	if _, cached2, err := s.Submit(context.Background(), tinySpec(), true); err != nil || !bytes.Equal(cached2, payload) {
+		t.Fatalf("resubmit after adoption: %v %q", err, cached2)
+	}
+	if fills != 1 {
+		t.Fatalf("peer consulted %d times, want 1", fills)
+	}
+
+	// A peer miss falls through to a real simulation.
+	s2 := newTestServer(t, func(c *Config) {
+		c.PeerFill = func(ctx context.Context, key string) ([]byte, bool) { return nil, false }
+	})
+	j2, cached2, err := s2.Submit(context.Background(), tinySpec(), true)
+	if err != nil || cached2 != nil {
+		t.Fatalf("peer-miss submit: %v", err)
+	}
+	waitDone(t, j2)
+	if st := s2.Stats(); st.PeerFillMisses != 1 || st.Simulations != 1 {
+		t.Fatalf("stats after peer miss: %+v", st)
+	}
+}
+
+// TestSpecKeyMatchesSubmitKey pins the coordinator's routing key to the
+// key workers actually cache under.
+func TestSpecKeyMatchesSubmitKey(t *testing.T) {
+	key, err := SpecKey(tinySpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	s := newTestServer(t, func(c *Config) {
+		c.PeerFill = func(ctx context.Context, k string) ([]byte, bool) {
+			got = k
+			return []byte(`{}`), true
+		}
+	})
+	if _, _, err := s.Submit(context.Background(), tinySpec(), true); err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatalf("SpecKey %s != submit key %s", key, got)
+	}
+	// Spec variants that normalize identically share the key: default
+	// threshold spelled out vs. omitted.
+	alt := tinySpec()
+	alt.Threshold = 0 // rrob defaults to 16
+	if k2, _ := SpecKey(alt, 0); k2 != key {
+		t.Fatalf("normalized variants diverge: %s vs %s", k2, key)
 	}
 }
 
@@ -116,7 +191,7 @@ func TestSingleflightCollapse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			j, cached, err := s.Submit(tinySpec(), true)
+			j, cached, err := s.Submit(context.Background(), tinySpec(), true)
 			if err != nil || cached != nil {
 				t.Errorf("submit %d: %v cached=%v", i, err, cached != nil)
 				return
@@ -159,16 +234,16 @@ func TestQueueFullBackpressure(t *testing.T) {
 		return sp
 	}
 	// Job 1 occupies the worker...
-	if _, _, err := s.Submit(spec(1), true); err != nil {
+	if _, _, err := s.Submit(context.Background(), spec(1), true); err != nil {
 		t.Fatal(err)
 	}
 	<-started
 	// ...job 2 occupies the single queue slot...
-	if _, _, err := s.Submit(spec(2), true); err != nil {
+	if _, _, err := s.Submit(context.Background(), spec(2), true); err != nil {
 		t.Fatal(err)
 	}
 	// ...job 3 must bounce.
-	_, _, err := s.Submit(spec(3), true)
+	_, _, err := s.Submit(context.Background(), spec(3), true)
 	if err == nil || !strings.Contains(err.Error(), "queue full") {
 		t.Fatalf("want ErrQueueFull, got %v", err)
 	}
@@ -184,7 +259,7 @@ func TestCancellationFreesWorkers(t *testing.T) {
 	s := newTestServer(t, func(c *Config) { c.Workers = 1; c.SimWorkers = 1 })
 	// All 11 mixes at a budget big enough that the sweep takes a while.
 	spec := RunSpec{Scheme: "rrob", Budget: 30_000, Seed: 1}
-	j, cached, err := s.Submit(spec, true)
+	j, cached, err := s.Submit(context.Background(), spec, true)
 	if err != nil || cached != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -215,7 +290,7 @@ func TestCancellationFreesWorkers(t *testing.T) {
 	}
 
 	// The (sole) worker must be free: a fresh small job completes.
-	j2, cached2, err := s.Submit(tinySpec(), true)
+	j2, cached2, err := s.Submit(context.Background(), tinySpec(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +319,7 @@ func (Snapshot) eventsForTest(j *Job) []Event {
 func TestLastWaiterDisconnectCancels(t *testing.T) {
 	s := newTestServer(t, func(c *Config) { c.SimWorkers = 1 })
 	spec := RunSpec{Scheme: "prob", Budget: 30_000, Seed: 7}
-	j, _, err := s.Submit(spec, false) // attached
+	j, _, err := s.Submit(context.Background(), spec, false) // attached
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +350,7 @@ func TestRetryTransient(t *testing.T) {
 		}
 		return real(ctx, j)
 	}
-	j, _, err := s.Submit(tinySpec(), true)
+	j, _, err := s.Submit(context.Background(), tinySpec(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +370,7 @@ func TestNonTransientFailureDoesNotRetry(t *testing.T) {
 	s.simulate = func(ctx context.Context, j *Job) (report.Series, int64, error) {
 		return report.Series{}, 0, fmt.Errorf("deterministic config error")
 	}
-	j, _, err := s.Submit(tinySpec(), true)
+	j, _, err := s.Submit(context.Background(), tinySpec(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +390,7 @@ func TestBadSpecRejected(t *testing.T) {
 		"unknown mix":    {Scheme: "rrob", Mixes: []string{"Mix 99"}},
 		"huge budget":    {Scheme: "rrob", Budget: 1 << 60},
 	} {
-		if _, _, err := s.Submit(spec, true); err == nil {
+		if _, _, err := s.Submit(context.Background(), spec, true); err == nil {
 			t.Errorf("%s accepted", name)
 		}
 	}
@@ -326,7 +401,7 @@ func TestShutdownDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, _, err := s.Submit(tinySpec(), true)
+	j, _, err := s.Submit(context.Background(), tinySpec(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,12 +414,12 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("queued job not drained: %s", j.Status())
 	}
 	// Cached results are still served while draining; new work is not.
-	if _, cached, err := s.Submit(tinySpec(), true); err != nil || cached == nil {
+	if _, cached, err := s.Submit(context.Background(), tinySpec(), true); err != nil || cached == nil {
 		t.Fatalf("cached submit during drain: %v cached=%v", err, cached != nil)
 	}
 	fresh := tinySpec()
 	fresh.Seed = 42
-	if _, _, err := s.Submit(fresh, true); err != ErrDraining {
+	if _, _, err := s.Submit(context.Background(), fresh, true); err != ErrDraining {
 		t.Fatalf("submit after drain: %v", err)
 	}
 }
@@ -508,7 +583,7 @@ func TestHTTPQueueFull429(t *testing.T) {
 // source).
 func TestSweepTelemetrySurfaces(t *testing.T) {
 	s := newTestServer(t, nil)
-	j, cached, err := s.Submit(tinySpec(), true)
+	j, cached, err := s.Submit(context.Background(), tinySpec(), true)
 	if err != nil || cached != nil {
 		t.Fatalf("Submit: cached=%v err=%v", cached != nil, err)
 	}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -55,13 +57,15 @@ func Canonical(v any) ([]byte, error) {
 
 // Stats are the store's monotonic counters plus current occupancy.
 type Stats struct {
-	Hits      uint64 // served from memory
-	DiskHits  uint64 // served from disk (and promoted to memory)
-	Misses    uint64
-	Evictions uint64 // memory-LRU evictions (disk copies survive)
-	Corrupt   uint64 // disk entries dropped on checksum mismatch
-	Bytes     int64  // current memory footprint
-	Entries   int    // current memory entry count
+	Hits        uint64 // served from memory
+	DiskHits    uint64 // served from disk (and promoted to memory)
+	Misses      uint64
+	Evictions   uint64 // memory-LRU evictions (disk copies survive)
+	Corrupt     uint64 // disk entries dropped on checksum mismatch
+	Bytes       int64  // current memory footprint
+	Entries     int    // current memory entry count
+	DiskBytes   int64  // current on-disk envelope footprint
+	DiskEntries int    // current on-disk entry count
 }
 
 // envelope is the on-disk file format.
@@ -85,6 +89,13 @@ type Store struct {
 	items map[string]*list.Element
 	bytes int64
 
+	// disk maps key -> on-disk envelope size, maintained incrementally
+	// after a one-time scan in New so Stats and Keys never walk the
+	// tree on the hot path.
+	diskMu    sync.Mutex
+	disk      map[string]int64
+	diskBytes int64
+
 	hits, diskHits, misses, evictions, corrupt atomic.Uint64
 }
 
@@ -97,12 +108,85 @@ func New(dir string, maxBytes int64) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{
+	s := &Store{
 		dir:      dir,
 		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
-	}, nil
+		disk:     make(map[string]int64),
+	}
+	s.scanDisk()
+	return s, nil
+}
+
+// scanDisk seeds the disk index from an existing cache directory.
+// Entries that later fail their checksum are dropped on first read, so
+// an optimistic size-only scan is enough here.
+func (s *Store) scanDisk() {
+	subdirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, sub := range subdirs {
+		if !sub.IsDir() || len(sub.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			key := strings.TrimSuffix(name, ".json")
+			s.disk[key] = info.Size()
+			s.diskBytes += info.Size()
+		}
+	}
+}
+
+// Keys returns the content hashes cached in either layer, sorted, so
+// peers can enumerate this node's results for warm-up and fill.
+func (s *Store) Keys() []string {
+	seen := make(map[string]bool)
+	s.mu.Lock()
+	for key := range s.items {
+		seen[key] = true
+	}
+	s.mu.Unlock()
+	s.diskMu.Lock()
+	for key := range s.disk {
+		seen[key] = true
+	}
+	s.diskMu.Unlock()
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *Store) diskTrack(key string, size int64) {
+	s.diskMu.Lock()
+	s.diskBytes += size - s.disk[key]
+	s.disk[key] = size
+	s.diskMu.Unlock()
+}
+
+func (s *Store) diskForget(key string) {
+	s.diskMu.Lock()
+	if size, ok := s.disk[key]; ok {
+		s.diskBytes -= size
+		delete(s.disk, key)
+	}
+	s.diskMu.Unlock()
 }
 
 func (s *Store) path(key string) string {
@@ -156,6 +240,7 @@ func (s *Store) readDisk(key string) ([]byte, bool) {
 func (s *Store) dropCorrupt(key string) {
 	s.corrupt.Add(1)
 	os.Remove(s.path(key))
+	s.diskForget(key)
 }
 
 // Put stores data under key in both layers. data must be a valid JSON
@@ -229,6 +314,7 @@ func (s *Store) writeDisk(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	s.diskTrack(key, int64(len(env)))
 	return nil
 }
 
@@ -237,13 +323,18 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	bytes, entries := s.bytes, len(s.items)
 	s.mu.Unlock()
+	s.diskMu.Lock()
+	diskBytes, diskEntries := s.diskBytes, len(s.disk)
+	s.diskMu.Unlock()
 	return Stats{
-		Hits:      s.hits.Load(),
-		DiskHits:  s.diskHits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
-		Corrupt:   s.corrupt.Load(),
-		Bytes:     bytes,
-		Entries:   entries,
+		Hits:        s.hits.Load(),
+		DiskHits:    s.diskHits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Bytes:       bytes,
+		Entries:     entries,
+		DiskBytes:   diskBytes,
+		DiskEntries: diskEntries,
 	}
 }

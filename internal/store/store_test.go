@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -193,6 +195,56 @@ func TestCorruptedDiskFileIsAMiss(t *testing.T) {
 		if err := s.writeDisk(key, []byte(`{"v":1}`)); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestKeysUnionMemoryAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(dir, 1<<20)
+	var want []string
+	for i := 0; i < 4; i++ {
+		key, _ := Key(fmt.Sprintf("entry-%d", i))
+		want = append(want, key)
+		if err := s.Put(key, []byte(`{"i":`+fmt.Sprint(i)+`}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(want)
+	if got := s.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+
+	// A fresh store over the same dir sees the same keys (disk scan),
+	// and its disk occupancy gauges are non-zero and consistent.
+	s2, _ := New(dir, 1<<20)
+	if got := s2.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fresh store Keys() = %v, want %v", got, want)
+	}
+	st := s2.Stats()
+	if st.DiskEntries != 4 || st.DiskBytes <= 0 {
+		t.Fatalf("disk stats after scan: %+v", st)
+	}
+
+	// Overwriting a key must not double-count its disk footprint.
+	before := s.Stats().DiskBytes
+	if err := s.Put(want[0], []byte(`{"i":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DiskEntries != 4 || st.DiskBytes != before {
+		t.Fatalf("disk stats after same-size overwrite: %+v (before %d)", st, before)
+	}
+
+	// Corruption removes the entry from the disk index too.
+	path := filepath.Join(dir, want[0][:2], want[0]+".json")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := New(dir, 0) // no memory layer: reads always consult disk
+	if _, ok := fresh.Get(want[0]); ok {
+		t.Fatal("corrupted entry served")
+	}
+	if st := fresh.Stats(); st.DiskEntries != 3 {
+		t.Fatalf("corrupt entry still indexed: %+v", st)
 	}
 }
 
