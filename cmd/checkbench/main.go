@@ -15,12 +15,13 @@
 // With -load the argument is instead a report.LoadSummary produced by
 // cmd/simdload -json: the run must have completed without client
 // errors, served every accepted request, and (optionally) clear
-// -min-rps / -max-p99 floors — wiring cluster latency into the same CI
-// gate as simulator throughput.
+// -min-rps / -max-p99 / -min-hit-rate floors — wiring cluster latency
+// and cache effectiveness into the same CI gate as simulator
+// throughput.
 //
 //	checkbench BENCH_results.json
 //	checkbench -baseline BENCH_results.json -max-regress 0.20 fresh.json
-//	checkbench -load -min-rps 50 -max-p99 2000 load.json
+//	checkbench -load -min-rps 50 -max-p99 2000 -min-hit-rate 0.5 load.json
 package main
 
 import (
@@ -39,9 +40,10 @@ func main() {
 	loadMode := flag.Bool("load", false, "treat the argument as a cmd/simdload summary instead of a bench report")
 	minRPS := flag.Float64("min-rps", 0, "with -load: minimum accepted throughput (0 = no floor)")
 	maxP99 := flag.Float64("max-p99", 0, "with -load: maximum accepted p99 latency in ms (0 = no ceiling)")
+	minHitRate := flag.Float64("min-hit-rate", 0, "with -load: minimum accepted cache-hit rate in [0,1] (0 = no floor)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: checkbench [-baseline committed.json] [-max-regress 0.20] <BENCH_results.json>")
-		fmt.Fprintln(os.Stderr, "       checkbench -load [-min-rps N] [-max-p99 MS] <load.json>")
+		fmt.Fprintln(os.Stderr, "       checkbench -load [-min-rps N] [-max-p99 MS] [-min-hit-rate F] <load.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,7 +53,7 @@ func main() {
 	}
 	path := flag.Arg(0)
 	if *loadMode {
-		checkLoad(path, *minRPS, *maxP99)
+		checkLoad(path, *minRPS, *maxP99, *minHitRate)
 		return
 	}
 	rep := load(path)
@@ -78,8 +80,9 @@ func main() {
 }
 
 // checkLoad gates a cmd/simdload summary: structurally sound, no
-// client-visible errors, and inside the optional rps/p99 envelope.
-func checkLoad(path string, minRPS, maxP99 float64) {
+// client-visible errors, and inside the optional rps/p99/hit-rate
+// envelope.
+func checkLoad(path string, minRPS, maxP99, minHitRate float64) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal("%v", err)
@@ -88,7 +91,7 @@ func checkLoad(path string, minRPS, maxP99 float64) {
 	if err := json.Unmarshal(data, &sum); err != nil {
 		fatal("%s: not a load summary: %v", path, err)
 	}
-	if errs := loadErrors(sum, minRPS, maxP99); len(errs) > 0 {
+	if errs := loadErrors(sum, minRPS, maxP99, minHitRate); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "checkbench: %s: %s\n", path, e)
 		}
@@ -99,8 +102,8 @@ func checkLoad(path string, minRPS, maxP99 float64) {
 }
 
 // loadErrors is checkLoad's gate: structural soundness plus the
-// optional throughput floor and p99 ceiling.
-func loadErrors(sum report.LoadSummary, minRPS, maxP99 float64) []string {
+// optional throughput floor, p99 ceiling, and cache-hit-rate floor.
+func loadErrors(sum report.LoadSummary, minRPS, maxP99, minHitRate float64) []string {
 	var errs []string
 	if sum.Requests <= 0 {
 		errs = append(errs, "summary records no requests")
@@ -120,6 +123,9 @@ func loadErrors(sum report.LoadSummary, minRPS, maxP99 float64) []string {
 	}
 	if maxP99 > 0 && sum.P99Ms > maxP99 {
 		errs = append(errs, fmt.Sprintf("p99 %.1fms above the %.1fms ceiling", sum.P99Ms, maxP99))
+	}
+	if minHitRate > 0 && sum.CacheHitRate < minHitRate {
+		errs = append(errs, fmt.Sprintf("cache-hit rate %.0f%% below the %.0f%% floor", sum.CacheHitRate*100, minHitRate*100))
 	}
 	return errs
 }

@@ -15,13 +15,19 @@
 // scrape it.
 //
 // With -peers the node joins a fleet: a local cache miss first asks the
-// key's ring owners over GET /v1/cache/{key} before simulating.
+// key's ring owners over GET /v1/cache/{key} before simulating, and a
+// completed simulation is replicated to the key's other ring owners
+// (-replicas total copies) so one node death loses no result. The
+// coordinator pushes membership updates to POST /v1/members, so the
+// worker's ring follows the fleet as it grows and shrinks.
 //
 // With -coordinator the process serves no simulations itself; it routes
 // each submission to its shard owner over a consistent-hash ring of
 // -peers, hedges stragglers onto the next replica, retries 429/503 on
 // other replicas, enforces per-tenant quotas, and aggregates fleet
-// state at /v1/fleet.
+// state at /v1/fleet. Membership is dynamic: POST /v1/members adds or
+// removes workers at runtime, and SIGHUP re-reads -peer-file; either
+// path rebalances cached results onto the new ring in the background.
 //
 // SIGINT/SIGTERM drains gracefully: submissions get 503, queued and
 // running jobs finish (up to -drain-timeout), then the process exits.
@@ -56,17 +62,19 @@ func main() {
 		maxBudget    = flag.Uint64("max-budget", 5_000_000, "largest accepted per-thread instruction budget")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain limit on shutdown")
 
-		peers       = flag.String("peers", "", "comma-separated fleet base URLs (workers: peer cache fill; coordinator: the ring)")
-		selfURL     = flag.String("self-url", "", "this worker's advertised base URL within -peers (default http://<bound addr>)")
-		coordinator = flag.Bool("coordinator", false, "run as the fleet coordinator instead of a worker")
-		vnodes      = flag.Int("vnodes", 64, "virtual nodes per ring member")
-		replicas    = flag.Int("replicas", 3, "distinct nodes a submission may try (reroutes + hedges)")
-		hedgeQ      = flag.Float64("hedge-quantile", 0.95, "latency percentile after which a backup request is hedged")
-		hedgeMin    = flag.Duration("hedge-min", 100*time.Millisecond, "hedge delay floor (also the cold-start delay)")
-		hedgeMax    = flag.Duration("hedge-max", 5*time.Second, "hedge delay ceiling")
-		quotaRate   = flag.Float64("quota-rate", 0, "per-tenant submissions/sec (0 disables quotas)")
-		quotaBurst  = flag.Float64("quota-burst", 0, "per-tenant burst (default 2x rate)")
-		maxInflight = flag.Int("max-inflight", 128, "concurrent forwards; excess waits in weighted-fair order")
+		peers         = flag.String("peers", "", "comma-separated fleet base URLs (workers: peer cache fill + replication; coordinator: the ring)")
+		peerFile      = flag.String("peer-file", "", "coordinator: file of fleet base URLs (one per line); SIGHUP re-reads it and rebalances")
+		selfURL       = flag.String("self-url", "", "this worker's advertised base URL within -peers (default http://<bound addr>)")
+		coordinator   = flag.Bool("coordinator", false, "run as the fleet coordinator instead of a worker")
+		vnodes        = flag.Int("vnodes", 64, "virtual nodes per ring member")
+		replicas      = flag.Int("replicas", 0, "coordinator: distinct nodes a submission may try (default 3); worker: total copies of each result across the fleet (default 2)")
+		writeReplicas = flag.Int("write-replicas", 2, "coordinator: copies each result should have across the fleet (handoff target placement)")
+		hedgeQ        = flag.Float64("hedge-quantile", 0.95, "latency percentile after which a backup request is hedged")
+		hedgeMin      = flag.Duration("hedge-min", 100*time.Millisecond, "hedge delay floor (also the cold-start delay)")
+		hedgeMax      = flag.Duration("hedge-max", 5*time.Second, "hedge delay ceiling")
+		quotaRate     = flag.Float64("quota-rate", 0, "per-tenant submissions/sec (0 disables quotas)")
+		quotaBurst    = flag.Float64("quota-burst", 0, "per-tenant burst (default 2x rate)")
+		maxInflight   = flag.Int("max-inflight", 128, "concurrent forwards; excess waits in weighted-fair order")
 	)
 	flag.Parse()
 	log.SetPrefix("simd: ")
@@ -74,10 +82,17 @@ func main() {
 
 	peerList := splitPeers(*peers)
 	if *coordinator {
-		runCoordinator(*addr, peerList, cluster.CoordinatorConfig{
+		if len(peerList) == 0 && *peerFile != "" {
+			var err error
+			if peerList, err = readPeerFile(*peerFile); err != nil {
+				fatal(err)
+			}
+		}
+		runCoordinator(*addr, peerList, *peerFile, cluster.CoordinatorConfig{
 			Peers:         peerList,
 			VNodes:        *vnodes,
 			Replicas:      *replicas,
+			WriteReplicas: *writeReplicas,
 			HedgeQuantile: *hedgeQ,
 			HedgeAfterMin: *hedgeMin,
 			HedgeAfterMax: *hedgeMax,
@@ -104,15 +119,31 @@ func main() {
 		MaxBudget:  *maxBudget,
 		Logf:       log.Printf,
 	}
-	// Peer cache fill is wired late: with -addr :0 the self URL is only
-	// known after binding, and the filler needs it to skip this node.
-	var filler *cluster.PeerFiller
+	// Peer cache fill and replication are wired late: with -addr :0 the
+	// self URL is only known after binding, and both need it to skip
+	// this node. The ring itself exists up front so the membership
+	// endpoint can serve from the first request.
+	var (
+		ring       *cluster.Ring
+		filler     *cluster.PeerFiller
+		replicator *cluster.Replicator
+	)
 	if len(peerList) > 0 {
+		var err error
+		if ring, err = cluster.NewRing(peerList, *vnodes); err != nil {
+			fatal(err)
+		}
 		cfg.PeerFill = func(ctx context.Context, key string) ([]byte, bool) {
 			if filler == nil {
 				return nil, false
 			}
 			return filler.Fill(ctx, key)
+		}
+		cfg.Replicate = func(ctx context.Context, key string, data []byte) (int, int) {
+			if replicator == nil {
+				return 0, 0
+			}
+			return replicator.Replicate(ctx, key, data)
 		}
 	}
 	srv, err := server.New(cfg)
@@ -120,23 +151,27 @@ func main() {
 		fatal(err)
 	}
 
-	httpSrv, bound, errCh, err := server.StartHTTP(*addr, srv.Handler())
+	handler := srv.Handler()
+	if ring != nil {
+		// The coordinator pushes membership changes here; fills and
+		// replica writes follow the updated ring immediately.
+		handler = cluster.WorkerMux(handler, ring, log.Printf)
+	}
+	httpSrv, bound, errCh, err := server.StartHTTP(*addr, handler)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("simd listening on %s\n", bound)
 	log.Printf("listening on %s (cache %s, queue %d, %d workers)", bound, *cacheDir, *queueSize, *workers)
 
-	if len(peerList) > 0 {
+	if ring != nil {
 		self := *selfURL
 		if self == "" {
 			self = "http://" + bound
 		}
-		filler, err = cluster.NewPeerFiller(self, peerList, *vnodes, 0, 0, nil)
-		if err != nil {
-			fatal(err)
-		}
-		log.Printf("fleet member %s (%d peers, peer cache fill on)", self, len(peerList))
+		filler = cluster.NewPeerFiller(self, ring, 0, 0, nil)
+		replicator = cluster.NewReplicator(self, ring, *replicas, 0, nil)
+		log.Printf("fleet member %s (%d peers, peer cache fill + replication on)", self, len(peerList))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -161,9 +196,9 @@ func main() {
 	}
 }
 
-func runCoordinator(addr string, peers []string, cfg cluster.CoordinatorConfig, drainTimeout time.Duration) {
+func runCoordinator(addr string, peers []string, peerFile string, cfg cluster.CoordinatorConfig, drainTimeout time.Duration) {
 	if len(peers) == 0 {
-		fatal(fmt.Errorf("-coordinator requires -peers"))
+		fatal(fmt.Errorf("-coordinator requires -peers or -peer-file"))
 	}
 	c, err := cluster.NewCoordinator(cfg)
 	if err != nil {
@@ -179,6 +214,30 @@ func runCoordinator(addr string, peers []string, cfg cluster.CoordinatorConfig, 
 		log.Printf("coordinator: shard %s owns %.1f%% of the keyspace", n, shares[i]*100)
 	}
 	log.Printf("coordinator listening on %s (%d peers)", bound, len(peers))
+
+	// SIGHUP re-reads -peer-file and applies it as the authoritative
+	// member list: workers are synced, and cached results rebalance onto
+	// the new ring in the background.
+	if peerFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				nodes, err := readPeerFile(peerFile)
+				if err != nil {
+					log.Printf("coordinator: SIGHUP reload: %v", err)
+					continue
+				}
+				reply, err := c.ApplyMemberChange(cluster.MemberChange{Action: "set", Nodes: nodes})
+				if err != nil {
+					log.Printf("coordinator: SIGHUP reload: %v", err)
+					continue
+				}
+				log.Printf("coordinator: SIGHUP reload: +%v -%v (%d members, handoff=%v)",
+					reply.Added, reply.Removed, len(reply.Members), reply.Handoff)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -205,6 +264,27 @@ func splitPeers(s string) []string {
 		}
 	}
 	return out
+}
+
+// readPeerFile parses a peer file: one base URL per line, blank lines
+// and #-comments ignored.
+func readPeerFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("peer file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("peer file %s: no peers", path)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -54,6 +54,23 @@ type CoordinatorConfig struct {
 	QuotaRate  float64
 	QuotaBurst float64
 
+	// WriteReplicas is the durability factor R the fleet aims for: each
+	// result should live on its key's first R ring owners (workers
+	// replicate on completion; the handoff pass restores placement after
+	// membership changes). Default 2 — primary plus one replica.
+	WriteReplicas int
+	// HandoffConcurrency bounds parallel key moves in a handoff pass
+	// (default 4); HandoffTimeout bounds each list/fetch/push op
+	// (default 15s).
+	HandoffConcurrency int
+	HandoffTimeout     time.Duration
+
+	// RouteTTL is how long a job-route entry survives after the job was
+	// observed terminal (default 2m); RouteMaxAge evicts entries never
+	// observed terminal — abandoned async submissions (default 1h).
+	RouteTTL    time.Duration
+	RouteMaxAge time.Duration
+
 	// MaxBudget mirrors the workers' largest accepted per-thread
 	// instruction budget so routing rejects what workers would (0 =
 	// worker default).
@@ -70,9 +87,8 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	if c.Replicas <= 0 {
 		c.Replicas = 3
 	}
-	if c.Replicas > len(c.Peers) {
-		c.Replicas = len(c.Peers)
-	}
+	// Replicas is deliberately not clamped to len(Peers): membership is
+	// dynamic, and Ring.Owners caps at the fleet's current size anyway.
 	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
 		c.HedgeQuantile = 0.95
 	}
@@ -93,6 +109,21 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.QuotaBurst <= 0 {
 		c.QuotaBurst = 2 * c.QuotaRate
+	}
+	if c.WriteReplicas <= 0 {
+		c.WriteReplicas = 2
+	}
+	if c.HandoffConcurrency <= 0 {
+		c.HandoffConcurrency = 4
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 15 * time.Second
+	}
+	if c.RouteTTL <= 0 {
+		c.RouteTTL = 2 * time.Minute
+	}
+	if c.RouteMaxAge <= 0 {
+		c.RouteMaxAge = time.Hour
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
@@ -116,18 +147,47 @@ type Coordinator struct {
 	closeOnce  sync.Once
 	healthWG   sync.WaitGroup
 
+	// Handoff state: one pass runs at a time; a membership change while
+	// one is running flags a rerun (handoff.go).
+	//tlrob:allow(process-lifetime base context for background handoff, cancelled by Close)
+	handoffCtx     context.Context
+	handoffCancel  context.CancelFunc
+	handoffMu      sync.Mutex
+	handoffRunning bool
+	handoffPending bool
+	handoffWG      sync.WaitGroup
+
+	// now is injectable so route-eviction tests can advance the clock.
+	now func() time.Time
+
 	// jobRoutes remembers which node owns a job ID so status, cancel
 	// and event-stream requests can be proxied after an async submit.
+	// Entries are evicted when the job is observed terminal (after
+	// RouteTTL), on DELETE, by the RouteMaxAge backstop, and by the
+	// maxJobRoutes FIFO cap.
 	routesMu  sync.Mutex
-	jobRoutes map[string]string
+	jobRoutes map[string]*routeEntry
 	routeFIFO []string
 
-	forwards, forwardErrors  atomic.Uint64
-	hedgesFired, hedgesWon   atomic.Uint64
-	reroutes, reroutes429    atomic.Uint64
-	quotaRejected            atomic.Uint64
-	nodeDeaths, nodeRevivals atomic.Uint64
-	cacheHits, cacheMisses   atomic.Uint64 // as reported by worker responses
+	forwards, forwardErrors       atomic.Uint64
+	hedgesFired, hedgesWon        atomic.Uint64
+	reroutes, reroutes429         atomic.Uint64
+	quotaRejected                 atomic.Uint64
+	nodeDeaths, nodeRevivals      atomic.Uint64
+	cacheHits, cacheMisses        atomic.Uint64 // as reported by worker responses
+	membersAdded, membersRemoved  atomic.Uint64
+	routeEvictions                atomic.Uint64
+	handoffRuns, handoffScanned   atomic.Uint64
+	handoffMoved, handoffSkipped  atomic.Uint64
+	handoffErrors                 atomic.Uint64
+	handoffActive                 atomic.Int64
+	memberSyncs, memberSyncErrors atomic.Uint64
+}
+
+type routeEntry struct {
+	node     string
+	seen     time.Time // last remember/lookup touch
+	terminal time.Time // zero until the job was observed terminal
 }
 
 const maxJobRoutes = 4096
@@ -137,33 +197,41 @@ const maxJobRoutes = 4096
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	for _, p := range cfg.Peers {
-		u, err := url.Parse(p)
-		if err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("cluster: peer %q is not a base URL", p)
+		if err := validateNodeURL(p); err != nil {
+			return nil, err
 		}
 	}
 	ring, err := NewRing(cfg.Peers, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
+	hctx, hcancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:        cfg,
-		ring:       ring,
-		quotas:     NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
-		fairq:      NewFairQueue(cfg.MaxInflight, cfg.TenantWeight),
-		lat:        newLatencyTracker(512),
-		stopHealth: make(chan struct{}),
-		jobRoutes:  make(map[string]string),
+		cfg:           cfg,
+		ring:          ring,
+		quotas:        NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		fairq:         NewFairQueue(cfg.MaxInflight, cfg.TenantWeight),
+		lat:           newLatencyTracker(512),
+		stopHealth:    make(chan struct{}),
+		handoffCtx:    hctx,
+		handoffCancel: hcancel,
+		now:           time.Now,
+		jobRoutes:     make(map[string]*routeEntry),
 	}
 	c.healthWG.Add(1)
 	go c.healthLoop()
 	return c, nil
 }
 
-// Close stops the health prober. Safe to call more than once.
+// Close stops the health prober and any running handoff pass. Safe to
+// call more than once.
 func (c *Coordinator) Close() {
-	c.closeOnce.Do(func() { close(c.stopHealth) })
+	c.closeOnce.Do(func() {
+		close(c.stopHealth)
+		c.handoffCancel()
+	})
 	c.healthWG.Wait()
+	c.handoffWG.Wait()
 }
 
 // Owners exposes the routing decision for key (tests, debugging).
@@ -184,7 +252,83 @@ func (c *Coordinator) healthLoop() {
 			return
 		case <-ticker.C:
 			c.probeAll()
+			c.sweepRoutes()
 		}
+	}
+}
+
+// ApplyMemberChange mutates fleet membership (POST /v1/members and the
+// SIGHUP peer-file reload both land here). On any actual change the new
+// member list is pushed to every affected worker and a background key
+// handoff pass is kicked.
+func (c *Coordinator) ApplyMemberChange(ch MemberChange) (MembersReply, error) {
+	before := c.ring.Nodes()
+	added, removed, err := applyChange(c.ring, ch)
+	if err != nil {
+		return MembersReply{Members: before}, err
+	}
+	reply := MembersReply{
+		Members: c.ring.Nodes(),
+		Added:   added,
+		Removed: removed,
+		Changed: len(added) > 0 || len(removed) > 0,
+	}
+	if !reply.Changed {
+		return reply, nil
+	}
+	c.membersAdded.Add(uint64(len(added)))
+	c.membersRemoved.Add(uint64(len(removed)))
+	c.cfg.Logf("cluster: membership changed: +%v -%v (now %d members)", added, removed, len(reply.Members))
+	c.syncWorkers(before, reply.Members)
+	c.kickHandoff()
+	reply.Handoff = true
+	return reply, nil
+}
+
+// syncWorkers pushes the authoritative member list to every node that
+// was or is a member, so worker-side peer fill and replica writes
+// follow the new ring. Best-effort and asynchronous: a worker that
+// misses an update converges on the next change (set semantics are
+// idempotent), and the handoff pass repairs any placement drift.
+func (c *Coordinator) syncWorkers(before, after []string) {
+	targets := make(map[string]bool, len(before)+len(after))
+	for _, n := range before {
+		targets[n] = true
+	}
+	for _, n := range after {
+		targets[n] = true
+	}
+	body, err := json.Marshal(MemberChange{Action: "set", Nodes: after})
+	if err != nil {
+		c.cfg.Logf("cluster: member sync: %v", err)
+		return
+	}
+	for node := range targets {
+		node := node
+		go func() {
+			ctx, cancel := context.WithTimeout(c.handoffCtx, c.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/members", bytes.NewReader(body))
+			if err != nil {
+				c.memberSyncErrors.Add(1)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := c.cfg.Client.Do(req)
+			if err != nil {
+				c.memberSyncErrors.Add(1)
+				c.cfg.Logf("cluster: member sync to %s: %v", node, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				c.memberSyncErrors.Add(1)
+				c.cfg.Logf("cluster: member sync to %s: http %d", node, resp.StatusCode)
+				return
+			}
+			c.memberSyncs.Add(1)
+		}()
 	}
 }
 
@@ -244,11 +388,12 @@ func (c *Coordinator) hedgeDelay() time.Duration {
 
 // forwardResult is one worker's answer to a forwarded submission.
 type forwardResult struct {
-	node   string
-	status int
-	body   []byte
-	err    error
-	hedged bool
+	node       string
+	status     int
+	body       []byte
+	retryAfter string // the worker's Retry-After header, if any
+	err        error
+	hedged     bool
 }
 
 // retryable reports whether another replica should be tried: transport
@@ -344,11 +489,13 @@ func (c *Coordinator) tryNode(ctx context.Context, node, path string, body []byt
 	if err != nil {
 		return forwardResult{node: node, err: err}
 	}
-	return forwardResult{node: node, status: resp.StatusCode, body: data}
+	return forwardResult{node: node, status: resp.StatusCode, body: data, retryAfter: resp.Header.Get("Retry-After")}
 }
 
-// rememberRoute maps a job ID to the node that owns it, evicting the
-// oldest mapping beyond maxJobRoutes.
+// rememberRoute maps a job ID to the node that owns it. The FIFO cap is
+// only the backstop; the real lifecycle is terminal-status eviction
+// (markRouteTerminal + sweepRoutes) so sustained async traffic cannot
+// grow the map without bound.
 func (c *Coordinator) rememberRoute(id, node string) {
 	if id == "" {
 		return
@@ -356,20 +503,82 @@ func (c *Coordinator) rememberRoute(id, node string) {
 	c.routesMu.Lock()
 	if _, ok := c.jobRoutes[id]; !ok {
 		c.routeFIFO = append(c.routeFIFO, id)
-		if len(c.routeFIFO) > maxJobRoutes {
+		for len(c.routeFIFO) > maxJobRoutes {
 			delete(c.jobRoutes, c.routeFIFO[0])
 			c.routeFIFO = c.routeFIFO[1:]
 		}
 	}
-	c.jobRoutes[id] = node
+	c.jobRoutes[id] = &routeEntry{node: node, seen: c.now()}
 	c.routesMu.Unlock()
 }
 
 func (c *Coordinator) routeFor(id string) (string, bool) {
 	c.routesMu.Lock()
 	defer c.routesMu.Unlock()
-	node, ok := c.jobRoutes[id]
-	return node, ok
+	e, ok := c.jobRoutes[id]
+	if !ok {
+		return "", false
+	}
+	e.seen = c.now()
+	return e.node, true
+}
+
+// markRouteTerminal starts the route's eviction clock: the job was seen
+// in a terminal state, so after RouteTTL nobody should still be asking
+// the coordinator about it.
+func (c *Coordinator) markRouteTerminal(id string) {
+	c.routesMu.Lock()
+	if e, ok := c.jobRoutes[id]; ok && e.terminal.IsZero() {
+		e.terminal = c.now()
+	}
+	c.routesMu.Unlock()
+}
+
+// dropRoute evicts a job route immediately (a successful DELETE — the
+// job is gone on the worker too).
+func (c *Coordinator) dropRoute(id string) {
+	c.routesMu.Lock()
+	if _, ok := c.jobRoutes[id]; ok {
+		delete(c.jobRoutes, id)
+		c.routeEvictions.Add(1)
+	}
+	c.routesMu.Unlock()
+}
+
+// sweepRoutes evicts job routes that are past their terminal TTL or —
+// for jobs never observed terminal (abandoned async submissions) — past
+// the RouteMaxAge backstop. Runs on every health tick.
+func (c *Coordinator) sweepRoutes() {
+	now := c.now()
+	c.routesMu.Lock()
+	var evicted int
+	live := c.routeFIFO[:0]
+	for _, id := range c.routeFIFO {
+		e, ok := c.jobRoutes[id]
+		if !ok {
+			continue // already dropped (DELETE or FIFO cap)
+		}
+		expired := (!e.terminal.IsZero() && now.Sub(e.terminal) > c.cfg.RouteTTL) ||
+			now.Sub(e.seen) > c.cfg.RouteMaxAge
+		if expired {
+			delete(c.jobRoutes, id)
+			evicted++
+			continue
+		}
+		live = append(live, id)
+	}
+	c.routeFIFO = live
+	c.routesMu.Unlock()
+	if evicted > 0 {
+		c.routeEvictions.Add(uint64(evicted))
+	}
+}
+
+// RouteCount reports the current job-route map size (tests, /metrics).
+func (c *Coordinator) RouteCount() int {
+	c.routesMu.Lock()
+	defer c.routesMu.Unlock()
+	return len(c.jobRoutes)
 }
 
 // Stats is the coordinator's observable state.
@@ -387,6 +596,18 @@ type Stats struct {
 	NodeRevivals   uint64  `json:"node_revivals"`
 	CacheHits      uint64  `json:"cache_hits"`
 	CacheMisses    uint64  `json:"cache_misses"`
+	MembersAdded   uint64  `json:"members_added"`
+	MembersRemoved uint64  `json:"members_removed"`
+	MemberSyncs    uint64  `json:"member_syncs"`
+	MemberSyncErrs uint64  `json:"member_sync_errors"`
+	HandoffRuns    uint64  `json:"handoff_runs"`
+	HandoffScanned uint64  `json:"handoff_keys_scanned"`
+	HandoffMoved   uint64  `json:"handoff_keys_moved"`
+	HandoffSkipped uint64  `json:"handoff_keys_skipped"`
+	HandoffErrors  uint64  `json:"handoff_errors"`
+	HandoffActive  int64   `json:"handoff_active"`
+	JobRoutes      int     `json:"job_routes"`
+	RouteEvictions uint64  `json:"route_evictions"`
 	FairQueueDepth int     `json:"fairq_depth"`
 	HedgeDelayMs   float64 `json:"hedge_delay_ms"`
 	LatencyP50Ms   float64 `json:"latency_p50_ms"`
@@ -410,6 +631,18 @@ func (c *Coordinator) Stats() Stats {
 		NodeRevivals:   c.nodeRevivals.Load(),
 		CacheHits:      c.cacheHits.Load(),
 		CacheMisses:    c.cacheMisses.Load(),
+		MembersAdded:   c.membersAdded.Load(),
+		MembersRemoved: c.membersRemoved.Load(),
+		MemberSyncs:    c.memberSyncs.Load(),
+		MemberSyncErrs: c.memberSyncErrors.Load(),
+		HandoffRuns:    c.handoffRuns.Load(),
+		HandoffScanned: c.handoffScanned.Load(),
+		HandoffMoved:   c.handoffMoved.Load(),
+		HandoffSkipped: c.handoffSkipped.Load(),
+		HandoffErrors:  c.handoffErrors.Load(),
+		HandoffActive:  c.handoffActive.Load(),
+		JobRoutes:      c.RouteCount(),
+		RouteEvictions: c.routeEvictions.Load(),
 		FairQueueDepth: c.fairq.Depth(),
 		HedgeDelayMs:   float64(c.hedgeDelay()) / 1e6,
 		LatencyP50Ms:   float64(c.lat.Quantile(0.50)) / 1e6,
@@ -434,6 +667,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", c.handleProxyJob)
 	mux.HandleFunc("GET /v1/runs/{id}/events", c.handleProxyJob)
 	mux.HandleFunc("GET /v1/fleet", c.handleFleet)
+	mux.HandleFunc("POST /v1/members", c.handleMembers)
+	mux.HandleFunc("GET /v1/members", c.handleMembers)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "nodes_alive": c.ring.AliveCount()})
@@ -455,7 +690,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if !c.quotas.Allow(tenant) {
 		c.quotaRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// Real refill time from the token bucket, not a hardcoded guess:
+		// clients backing off exactly this long succeed on the retry.
+		w.Header().Set("Retry-After", retryAfterSeconds(c.quotas.RetryAfter(tenant)))
 		writeError(w, http.StatusTooManyRequests, fmt.Errorf("tenant %q over quota", tenant))
 		return
 	}
@@ -493,11 +730,17 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if res.status >= 200 && res.status < 300 {
 		c.lat.Observe(time.Since(start))
 		var sub struct {
-			ID    string `json:"id"`
-			Cache string `json:"cache"`
+			ID     string `json:"id"`
+			Cache  string `json:"cache"`
+			Status string `json:"status"`
 		}
 		if json.Unmarshal(res.body, &sub) == nil {
 			c.rememberRoute(sub.ID, res.node)
+			if terminalStatus(sub.Status) {
+				// wait=1 answers arrive already terminal: start the
+				// route's eviction clock right away.
+				c.markRouteTerminal(sub.ID)
+			}
 			switch sub.Cache {
 			case "hit":
 				c.cacheHits.Add(1)
@@ -511,16 +754,68 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if res.hedged {
 		w.Header().Set("X-Simd-Hedged", "1")
 	}
+	if res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable {
+		// Every replica pushed back; surface the last worker's own
+		// drain-rate estimate rather than inventing a constant.
+		ra := res.retryAfter
+		if ra == "" {
+			ra = "1"
+		}
+		w.Header().Set("Retry-After", ra)
+	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
 }
 
+// terminalStatus mirrors server.Status.terminal over the wire form.
+func terminalStatus(s string) bool {
+	switch server.Status(s) {
+	case server.StatusDone, server.StatusFailed, server.StatusCanceled:
+		return true
+	}
+	return false
+}
+
+// retryAfterSeconds renders a wait as a whole-second Retry-After value,
+// rounding up so a client that honors it lands after the refill, with a
+// floor of 1 (0 would invite an immediate, certainly rejected retry).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// handleMembers serves fleet membership: GET reports it, POST mutates
+// it through ApplyMemberChange (rebalancing + worker sync included).
+func (c *Coordinator) handleMembers(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, MembersReply{Members: c.ring.Nodes()})
+		return
+	}
+	var ch MemberChange
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&ch); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode member change: %w", err))
+		return
+	}
+	reply, err := c.ApplyMemberChange(ch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
 // handleProxyJob forwards job-scoped requests to the node that owns
-// the job ID.
+// the job ID, and retires the route once the job is over: a successful
+// DELETE drops it immediately, a status poll that shows a terminal
+// state starts the RouteTTL clock.
 func (c *Coordinator) handleProxyJob(w http.ResponseWriter, r *http.Request) {
-	node, ok := c.routeFor(r.PathValue("id"))
+	id := r.PathValue("id")
+	node, ok := c.routeFor(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q (submitted elsewhere or evicted)", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q (submitted elsewhere or evicted)", id))
 		return
 	}
 	target, err := url.Parse(node)
@@ -528,6 +823,8 @@ func (c *Coordinator) handleProxyJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	isEvents := r.Method == http.MethodGet && len(r.URL.Path) > len("/events") &&
+		r.URL.Path[len(r.URL.Path)-len("/events"):] == "/events"
 	proxy := &httputil.ReverseProxy{
 		Director: func(req *http.Request) {
 			req.URL.Scheme = target.Scheme
@@ -535,6 +832,31 @@ func (c *Coordinator) handleProxyJob(w http.ResponseWriter, r *http.Request) {
 			req.Host = target.Host
 		},
 		FlushInterval: 100 * time.Millisecond, // NDJSON event streams
+		ModifyResponse: func(resp *http.Response) error {
+			if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+				return nil
+			}
+			switch {
+			case r.Method == http.MethodDelete:
+				c.dropRoute(id)
+			case r.Method == http.MethodGet && !isEvents:
+				// Peek at the status without disturbing the stream the
+				// client sees.
+				data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+				if err != nil {
+					return err
+				}
+				resp.Body.Close()
+				resp.Body = io.NopCloser(bytes.NewReader(data))
+				var job struct {
+					Status string `json:"status"`
+				}
+				if json.Unmarshal(data, &job) == nil && terminalStatus(job.Status) {
+					c.markRouteTerminal(id)
+				}
+			}
+			return nil
+		},
 		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
 			writeError(w, http.StatusBadGateway, fmt.Errorf("node %s: %w", node, err))
 		},
@@ -648,6 +970,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"simd_cluster_node_revivals_total", "counter", st.NodeRevivals},
 		{"simd_cluster_cache_hits_total", "counter", st.CacheHits},
 		{"simd_cluster_cache_misses_total", "counter", st.CacheMisses},
+		{"simd_cluster_members_added_total", "counter", st.MembersAdded},
+		{"simd_cluster_members_removed_total", "counter", st.MembersRemoved},
+		{"simd_cluster_member_syncs_total", "counter", st.MemberSyncs},
+		{"simd_cluster_member_sync_errors_total", "counter", st.MemberSyncErrs},
+		{"simd_cluster_handoff_runs_total", "counter", st.HandoffRuns},
+		{"simd_cluster_handoff_keys_scanned_total", "counter", st.HandoffScanned},
+		{"simd_cluster_handoff_keys_moved_total", "counter", st.HandoffMoved},
+		{"simd_cluster_handoff_keys_skipped_total", "counter", st.HandoffSkipped},
+		{"simd_cluster_handoff_errors_total", "counter", st.HandoffErrors},
+		{"simd_cluster_handoff_active", "gauge", st.HandoffActive},
+		{"simd_cluster_job_routes", "gauge", st.JobRoutes},
+		{"simd_cluster_route_evictions_total", "counter", st.RouteEvictions},
 		{"simd_cluster_fairq_depth", "gauge", st.FairQueueDepth},
 		{"simd_cluster_hedge_delay_ms", "gauge", st.HedgeDelayMs},
 		{"simd_cluster_latency_p50_ms", "gauge", st.LatencyP50Ms},

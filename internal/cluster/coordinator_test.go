@@ -89,12 +89,14 @@ func startFleet(t *testing.T, n int, mutate func(i int, cfg *server.Config)) ([]
 		})
 		urls[i] = workers[i].url
 	}
-	// Now that every URL is known, give each node a real peer filler.
+	// Now that every URL is known, give each node a real peer filler
+	// over its own membership ring (as cmd/simd does).
 	for i, w := range workers {
-		pf, err := NewPeerFiller(w.url, urls, 16, 0, time.Second, nil)
+		ring, err := NewRing(urls, 16)
 		if err != nil {
 			t.Fatal(err)
 		}
+		pf := NewPeerFiller(w.url, ring, 0, time.Second, nil)
 		*fills[i] = pf.Fill
 	}
 	c, err := NewCoordinator(CoordinatorConfig{
@@ -612,5 +614,167 @@ func TestProxyJobRoutes(t *testing.T) {
 	c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/nope", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown job -> %d", rec.Code)
+	}
+}
+
+// TestJobRouteEviction pins the route-map lifecycle that used to leak:
+// a status poll that sees a terminal job starts the RouteTTL clock, the
+// sweep then shrinks the map, a DELETE evicts immediately, and the
+// RouteMaxAge backstop clears entries never observed terminal.
+func TestJobRouteEviction(t *testing.T) {
+	_, c := startFleet(t, 2, nil)
+	// An injectable clock so the test can jump past the TTLs.
+	base := time.Now()
+	offset := time.Duration(0)
+	var clockMu sync.Mutex
+	c.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return base.Add(offset)
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		offset += d
+		clockMu.Unlock()
+	}
+
+	submitAsync := func(seed uint64) string {
+		t.Helper()
+		body, _ := json.Marshal(testSpec(seed))
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(body)))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("async submit -> %d: %s", rec.Code, rec.Body.String())
+		}
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil || sub.ID == "" {
+			t.Fatalf("no job id in %s", rec.Body.String())
+		}
+		return sub.ID
+	}
+	get := func(id string) int {
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/"+id, nil))
+		return rec.Code
+	}
+
+	// Terminal-status eviction: poll until done, jump past RouteTTL,
+	// sweep — the map shrinks and later polls 404.
+	id := submitAsync(41)
+	if c.RouteCount() != 1 {
+		t.Fatalf("route count %d after submit", c.RouteCount())
+	}
+	waitFor(t, "proxied job to finish", func() bool {
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/"+id, nil))
+		var snap struct {
+			Status string `json:"status"`
+		}
+		return rec.Code == http.StatusOK && json.Unmarshal(rec.Body.Bytes(), &snap) == nil && snap.Status == "done"
+	})
+	// Inside the TTL the route survives sweeps: polling clients keep
+	// working right after completion.
+	c.sweepRoutes()
+	if c.RouteCount() != 1 {
+		t.Fatal("terminal route evicted before its TTL")
+	}
+	advance(c.cfg.RouteTTL + time.Second)
+	c.sweepRoutes()
+	if c.RouteCount() != 0 {
+		t.Fatalf("route count %d after TTL sweep", c.RouteCount())
+	}
+	if code := get(id); code != http.StatusNotFound {
+		t.Fatalf("evicted job GET -> %d, want 404", code)
+	}
+	if st := c.Stats(); st.RouteEvictions < 1 {
+		t.Fatalf("eviction not counted: %+v", st)
+	}
+
+	// DELETE evicts immediately — no TTL wait.
+	id = submitAsync(42)
+	waitFor(t, "cancel to land", func() bool {
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/runs/"+id, nil))
+		return rec.Code == http.StatusOK
+	})
+	if c.RouteCount() != 0 {
+		t.Fatalf("route count %d after DELETE", c.RouteCount())
+	}
+
+	// MaxAge backstop: an entry never observed terminal (abandoned async
+	// submission) still ages out.
+	c.rememberRoute("abandoned-job", "http://nowhere:1")
+	advance(c.cfg.RouteMaxAge + time.Second)
+	c.sweepRoutes()
+	if c.RouteCount() != 0 {
+		t.Fatalf("route count %d after MaxAge sweep", c.RouteCount())
+	}
+}
+
+// TestRetryAfterComputedNotHardcoded pins both 429 paths: the quota
+// rejection derives Retry-After from the token bucket's refill time,
+// and a reroute-exhausted rejection replays the worker's own estimate
+// instead of the old hardcoded "1".
+func TestRetryAfterComputedNotHardcoded(t *testing.T) {
+	// Quota path: rate 0.5/sec, burst 1 -> after one spend the next
+	// token is 2s away.
+	w, _ := startWorker(t, nil)
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{w.url},
+		VNodes:         16,
+		QuotaRate:      0.5,
+		QuotaBurst:     1,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if r := submitVia(t, c.Handler(), testSpec(51), "greedy"); r.status != http.StatusOK {
+		t.Fatalf("first request rejected: %+v", r)
+	}
+	body, _ := json.Marshal(testSpec(51))
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs?wait=1", bytes.NewReader(body))
+	req.Header.Set("X-Tenant", "greedy")
+	c.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request got %d", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("quota Retry-After = %q, want %q (bucket refill time)", got, "2")
+	}
+
+	// Exhausted path: every replica answers 429 with its own estimate;
+	// the coordinator must replay the worker's header, not invent one.
+	overloaded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/healthz") {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer overloaded.Close()
+	c2, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{overloaded.URL},
+		VNodes:         16,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	rec = httptest.NewRecorder()
+	c2.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/runs?wait=1", bytes.NewReader(body)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("exhausted reroute got %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("exhausted Retry-After = %q, want the worker's %q", got, "7")
 	}
 }

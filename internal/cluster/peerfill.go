@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -17,6 +18,10 @@ import (
 // Fill only ever reads peers' *local* caches (the cache endpoint never
 // recurses into its own peer fill), so two nodes missing the same key
 // cannot chase each other.
+//
+// The ring is shared with the node's Replicator and membership handler:
+// a membership update pushed by the coordinator redirects fills and
+// replica writes alike.
 type PeerFiller struct {
 	ring    *Ring
 	self    string
@@ -26,14 +31,11 @@ type PeerFiller struct {
 }
 
 // NewPeerFiller builds a filler for the node advertised as self over
-// the full peer list (which should include self, so the ring every
-// node computes is identical). fanout caps how many owners are asked
-// per miss (<= 0 means 3); timeout bounds each attempt (<= 0 means 1s).
-func NewPeerFiller(self string, peers []string, vnodes, fanout int, timeout time.Duration, client *http.Client) (*PeerFiller, error) {
-	ring, err := NewRing(peers, vnodes)
-	if err != nil {
-		return nil, err
-	}
+// the shared membership ring (built from the full peer list including
+// self, so the ring every node computes is identical). fanout caps how
+// many owners are asked per miss (<= 0 means 3); timeout bounds each
+// attempt (<= 0 means 1s).
+func NewPeerFiller(self string, ring *Ring, fanout int, timeout time.Duration, client *http.Client) *PeerFiller {
 	if fanout <= 0 {
 		fanout = 3
 	}
@@ -43,7 +45,7 @@ func NewPeerFiller(self string, peers []string, vnodes, fanout int, timeout time
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &PeerFiller{ring: ring, self: self, fanout: fanout, timeout: timeout, client: client}, nil
+	return &PeerFiller{ring: ring, self: self, fanout: fanout, timeout: timeout, client: client}
 }
 
 // Fill fetches key from its owners, skipping self. The first peer that
@@ -87,4 +89,71 @@ func (p *PeerFiller) fetch(ctx context.Context, owner, key string) ([]byte, bool
 		return nil, false
 	}
 	return data, true
+}
+
+// Replicator pushes a completed result to the other ring owners of its
+// key so a single node death loses no cached entry. Plug Replicate into
+// server.Config.Replicate; the server calls it asynchronously after
+// every simulation completes.
+type Replicator struct {
+	ring     *Ring
+	self     string
+	replicas int
+	timeout  time.Duration
+	client   *http.Client
+}
+
+// NewReplicator builds a replicator over the shared membership ring.
+// replicas is the total copies a result should have across the fleet,
+// counting the one the completing node already wrote (<= 0 means 2:
+// primary + one replica); timeout bounds each push (<= 0 means 5s).
+func NewReplicator(self string, ring *Ring, replicas int, timeout time.Duration, client *http.Client) *Replicator {
+	if replicas <= 0 {
+		replicas = 2
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Replicator{ring: ring, self: self, replicas: replicas, timeout: timeout, client: client}
+}
+
+// Replicate PUTs data to key's first `replicas` ring owners, skipping
+// this node (which already holds the result). When the completing node
+// is itself one of those owners this pushes replicas-1 copies; when the
+// result was simulated off-placement (a direct submission to the
+// "wrong" node) it repairs placement by pushing to every owner. Each
+// push is best-effort: a dead target simply stays behind, and the
+// coordinator's handoff pass or the next completion heals it.
+func (r *Replicator) Replicate(ctx context.Context, key string, data []byte) (pushed, failed int) {
+	for _, owner := range r.ring.Owners(key, r.replicas) {
+		if owner == r.self {
+			continue
+		}
+		if r.push(ctx, owner, key, data) {
+			pushed++
+		} else {
+			failed++
+		}
+	}
+	return pushed, failed
+}
+
+func (r *Replicator) push(ctx context.Context, owner, key string, data []byte) bool {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, fmt.Sprintf("%s/v1/cache/%s", owner, key), bytes.NewReader(data))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
 }

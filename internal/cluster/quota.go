@@ -67,6 +67,33 @@ func (q *Quotas) Allow(tenant string) bool {
 	return true
 }
 
+// RetryAfter reports how long tenant must wait for the bucket to refill
+// one whole token — the honest Retry-After value for a quota rejection.
+// Zero when limiting is off or a token is already available.
+func (q *Quotas) RetryAfter(tenant string) time.Duration {
+	if q.rate <= 0 {
+		return 0
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		return 0 // fresh bucket starts full
+	}
+	tokens := b.tokens
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		tokens += dt * q.rate
+		if tokens > q.burst {
+			tokens = q.burst
+		}
+	}
+	if tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - tokens) / q.rate * float64(time.Second))
+}
+
 // waiter is one queued Acquire, tagged with its virtual finish time.
 type waiter struct {
 	finish    float64

@@ -37,6 +37,69 @@ func TestQuotasBurstAndRefill(t *testing.T) {
 	}
 }
 
+func TestQuotasRetryAfter(t *testing.T) {
+	q := NewQuotas(2, 1) // 2 tokens/sec, burst 1
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	// An unseen tenant has a full bucket: no wait.
+	if got := q.RetryAfter("fresh"); got != 0 {
+		t.Fatalf("fresh tenant RetryAfter = %v", got)
+	}
+	if !q.Allow("t") || q.Allow("t") {
+		t.Fatal("burst of 1 not honored")
+	}
+	// The bucket is empty; at 2 tokens/sec a whole token is 500ms away.
+	if got := q.RetryAfter("t"); !within(got, 500*time.Millisecond, time.Millisecond) {
+		t.Fatalf("RetryAfter = %v, want ~500ms", got)
+	}
+	// 200ms later 0.4 tokens refilled: 300ms left.
+	now = now.Add(200 * time.Millisecond)
+	if got := q.RetryAfter("t"); !within(got, 300*time.Millisecond, time.Millisecond) {
+		t.Fatalf("RetryAfter after partial refill = %v, want ~300ms", got)
+	}
+	// Once a token is back the wait is zero, and Allow agrees.
+	now = now.Add(300 * time.Millisecond)
+	if got := q.RetryAfter("t"); got != 0 {
+		t.Fatalf("RetryAfter with a full token = %v", got)
+	}
+	if !q.Allow("t") {
+		t.Fatal("Allow disagrees with RetryAfter")
+	}
+
+	// Disabled limiter never asks anyone to wait.
+	if got := NewQuotas(0, 0).RetryAfter("x"); got != 0 {
+		t.Fatalf("disabled RetryAfter = %v", got)
+	}
+}
+
+func within(got, want, tol time.Duration) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// TestRetryAfterSecondsRounding pins the header rendering: ceil to whole
+// seconds with a floor of 1.
+func TestRetryAfterSecondsRounding(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{10 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"},
+		{2500 * time.Millisecond, "3"},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Fatalf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
 func TestQuotasDisabled(t *testing.T) {
 	q := NewQuotas(0, 0)
 	for i := 0; i < 1000; i++ {

@@ -25,13 +25,16 @@ type point struct {
 }
 
 // Ring is a consistent-hash ring with virtual nodes and health-aware
-// lookups. Membership is fixed at construction; liveness is toggled by
-// the health checker and by forward-path connection failures.
+// lookups. Membership is dynamic: Add and Remove rebuild the vnode
+// table so nodes can join or leave a running fleet; liveness is toggled
+// by the health checker and by forward-path connection failures.
 type Ring struct {
 	mu     sync.RWMutex
+	vnodes int
 	points []point // sorted by hash
 	nodes  []string
 	alive  map[string]bool
+	gen    uint64 // bumped on every membership change
 }
 
 // ringHash places s on the 64-bit ring keyspace. SHA-256 keeps vnode
@@ -54,8 +57,9 @@ func NewRing(nodes []string, vnodes int) (*Ring, error) {
 		vnodes = 64
 	}
 	r := &Ring{
-		nodes: append([]string(nil), nodes...),
-		alive: make(map[string]bool, len(nodes)),
+		vnodes: vnodes,
+		nodes:  append([]string(nil), nodes...),
+		alive:  make(map[string]bool, len(nodes)),
 	}
 	sort.Strings(r.nodes)
 	for i := 1; i < len(r.nodes); i++ {
@@ -63,10 +67,22 @@ func NewRing(nodes []string, vnodes int) (*Ring, error) {
 			return nil, fmt.Errorf("cluster: duplicate node %q", r.nodes[i])
 		}
 	}
-	r.points = make([]point, 0, len(nodes)*vnodes)
 	for _, n := range r.nodes {
 		r.alive[n] = true
-		for v := 0; v < vnodes; v++ {
+	}
+	r.rebuildLocked()
+	return r, nil
+}
+
+// rebuildLocked regenerates the vnode table from the current member
+// list. Callers hold r.mu (or own the ring exclusively, as in NewRing).
+// Placement depends only on the member set and vnode count, so every
+// add/remove sequence that reaches the same membership yields the same
+// ring a fresh NewRing would.
+func (r *Ring) rebuildLocked() {
+	r.points = make([]point, 0, len(r.nodes)*r.vnodes)
+	for _, n := range r.nodes {
+		for v := 0; v < r.vnodes; v++ {
 			r.points = append(r.points, point{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: n})
 		}
 	}
@@ -76,12 +92,106 @@ func NewRing(nodes []string, vnodes int) (*Ring, error) {
 		}
 		return r.points[i].node < r.points[j].node
 	})
-	return r, nil
 }
 
 // Nodes returns the ring's members, sorted.
 func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return append([]string(nil), r.nodes...)
+}
+
+// Generation counts membership changes. A handoff pass snapshots it and
+// aborts when it moves, so a stale pass never applies an old ring's
+// placement decisions.
+func (r *Ring) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// Add joins node to the ring (initially alive) and rebuilds the vnode
+// table. It reports false if node is already a member.
+func (r *Ring) Add(node string) bool {
+	if node == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[node]; ok {
+		return false
+	}
+	r.nodes = append(r.nodes, node)
+	sort.Strings(r.nodes)
+	r.alive[node] = true
+	r.gen++
+	r.rebuildLocked()
+	return true
+}
+
+// Remove drops node from the ring and rebuilds the vnode table. The
+// last member cannot be removed (a ring with no nodes routes nothing).
+// It reports false if node is not a member or is the last one.
+func (r *Ring) Remove(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[node]; !ok || len(r.nodes) == 1 {
+		return false
+	}
+	delete(r.alive, node)
+	for i, n := range r.nodes {
+		if n == node {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			break
+		}
+	}
+	r.gen++
+	r.rebuildLocked()
+	return true
+}
+
+// SetMembers replaces the member list wholesale (the SIGHUP peer-file
+// reload path), preserving the liveness of retained members. It returns
+// the nodes added and removed; both empty means the list matched the
+// current membership and nothing changed.
+func (r *Ring) SetMembers(nodes []string) (added, removed []string, err error) {
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	next := append([]string(nil), nodes...)
+	sort.Strings(next)
+	for i := 1; i < len(next); i++ {
+		if next[i] == next[i-1] {
+			return nil, nil, fmt.Errorf("cluster: duplicate node %q", next[i])
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	want := make(map[string]bool, len(next))
+	for _, n := range next {
+		want[n] = true
+		if _, ok := r.alive[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	for _, n := range r.nodes {
+		if !want[n] {
+			removed = append(removed, n)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return nil, nil, nil
+	}
+	for _, n := range removed {
+		delete(r.alive, n)
+	}
+	for _, n := range added {
+		r.alive[n] = true
+	}
+	r.nodes = next
+	r.gen++
+	r.rebuildLocked()
+	return added, removed, nil
 }
 
 // SetAlive marks a node's liveness and reports whether that changed.

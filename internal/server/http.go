@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -16,6 +18,7 @@ import (
 //	GET    /v1/runs/{id}/events NDJSON progress stream
 //	GET    /v1/cache           cached content hashes on this node
 //	GET    /v1/cache/{key}     raw cached result (peer fill / warm-up)
+//	PUT    /v1/cache/{key}     store a result (replication / handoff)
 //	GET    /v1/stats           Stats as JSON (fleet aggregation)
 //	GET    /metrics            Prometheus-style text metrics
 //	GET    /healthz            liveness
@@ -27,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/cache", s.handleCacheKeys)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -59,7 +63,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Estimate from the observed drain rate instead of a hardcoded
+		// guess: a client that honors this finds a free slot on retry.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -166,6 +172,33 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// handleCachePut stores a result pushed by a peer (replication after a
+// completed simulation) or by the coordinator (key handoff after a
+// membership change). The key is content-addressed, so a write is
+// idempotent and a racing writer is harmless.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if len(key) != 64 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed cache key %q", key))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if !json.Valid(data) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("key %s: payload is not JSON", key[:12]))
+		return
+	}
+	if err := s.cfg.Store.Put(key, data); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("store %s: %w", key[:12], err))
+		return
+	}
+	s.peerStored.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleCacheKeys(w http.ResponseWriter, r *http.Request) {
 	keys := s.cfg.Store.Keys()
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "keys": keys})
@@ -216,6 +249,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"simd_cluster_peer_fill_hits_total", "counter", st.PeerFillHits},
 		{"simd_cluster_peer_fill_misses_total", "counter", st.PeerFillMisses},
 		{"simd_cluster_peer_served_total", "counter", st.PeerServed},
+		{"simd_cluster_peer_stored_total", "counter", st.PeerStored},
+		{"simd_cluster_replica_pushed_total", "counter", st.ReplicaPushed},
+		{"simd_cluster_replica_failed_total", "counter", st.ReplicaFailed},
 	} {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", m.name, m.typ, m.name, m.value)
 	}

@@ -133,6 +133,12 @@ type Config struct {
 	// already holds the result for key, it is adopted into the local
 	// store and served without re-simulating.
 	PeerFill func(ctx context.Context, key string) ([]byte, bool)
+
+	// Replicate, when set (cluster mode), is called asynchronously after
+	// every successful simulation with the result bytes, so the other
+	// ring owners of key hold a copy before this node can die with the
+	// only one. Returns how many pushes landed and how many failed.
+	Replicate func(ctx context.Context, key string, data []byte) (pushed, failed int)
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +191,13 @@ type Stats struct {
 	PeerFillHits   uint64
 	PeerFillMisses uint64
 	PeerServed     uint64
+	// PeerStored counts entries written into the local store by peers
+	// or the coordinator via PUT /v1/cache/{key} (replication, handoff).
+	PeerStored uint64
+	// ReplicaPushed/ReplicaFailed count this node's own replica writes
+	// to other ring owners after completed simulations.
+	ReplicaPushed uint64
+	ReplicaFailed uint64
 
 	// StallCycles maps telemetry stall-cause names to thread-cycles
 	// charged, summed over every sweep this process ran; ActiveCycles is
@@ -214,6 +227,9 @@ type Server struct {
 	completed, failed, canceled               atomic.Uint64
 	retries, simulations, cycles, simNanosSum atomic.Uint64
 	peerFillHits, peerFillMisses, peerServed  atomic.Uint64
+	peerStored                                atomic.Uint64
+	replicaPushed, replicaFailed              atomic.Uint64
+	replicaWG                                 sync.WaitGroup
 
 	// Per-cause thread-cycle totals aggregated over every sweep this
 	// process ran, indexed by telemetry.Cause; exposed on /metrics.
@@ -450,6 +466,20 @@ func (s *Server) runJob(j *Job) {
 		if err := s.cfg.Store.Put(j.Key, data); err != nil {
 			s.cfg.Logf("simd: cache put %s: %v", j.Key[:12], err)
 		}
+		if s.cfg.Replicate != nil {
+			// Push replicas off the worker goroutine so a slow peer
+			// doesn't hold up the queue; waiters get their result now.
+			s.replicaWG.Add(1)
+			go func(key string, data []byte) {
+				defer s.replicaWG.Done()
+				pushed, failed := s.cfg.Replicate(s.baseCtx, key, data)
+				s.replicaPushed.Add(uint64(pushed))
+				s.replicaFailed.Add(uint64(failed))
+				if failed > 0 {
+					s.cfg.Logf("simd: replicate %s: %d pushed, %d failed", key[:12], pushed, failed)
+				}
+			}(j.Key, data)
+		}
 		s.cycles.Add(uint64(cycles))
 		s.completed.Add(1)
 		j.finish(StatusDone, data, "")
@@ -527,6 +557,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.workersWG.Wait()
+		s.replicaWG.Wait() // in-flight replica pushes finish too
 		close(done)
 	}()
 	select {
@@ -537,6 +568,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		return ctx.Err()
 	}
+}
+
+// RetryAfterSeconds estimates how long a rejected submitter should wait
+// for the queue to drain enough to accept it: the observed mean job
+// service time times the queue slots ahead of it, divided across the
+// worker pool. Clamped to [1, 60] so a cold server (no completions yet)
+// still answers something sane and a deeply backed-up one doesn't tell
+// clients to disappear for an hour.
+func (s *Server) RetryAfterSeconds() int {
+	finished := s.completed.Load() + s.failed.Load() + s.canceled.Load()
+	if finished == 0 {
+		return 1
+	}
+	mean := time.Duration(s.simNanosSum.Load() / finished)
+	wait := mean * time.Duration(len(s.queue)+1) / time.Duration(s.cfg.Workers)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // Stats snapshots the server counters.
@@ -566,6 +620,9 @@ func (s *Server) Stats() Stats {
 		PeerFillHits:   s.peerFillHits.Load(),
 		PeerFillMisses: s.peerFillMisses.Load(),
 		PeerServed:     s.peerServed.Load(),
+		PeerStored:     s.peerStored.Load(),
+		ReplicaPushed:  s.replicaPushed.Load(),
+		ReplicaFailed:  s.replicaFailed.Load(),
 		StallCycles:    stalls,
 		ActiveCycles:   s.activeCycles.Load(),
 	}

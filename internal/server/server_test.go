@@ -6,8 +6,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -554,7 +556,7 @@ func TestHTTPQueueFull429(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	post := func(seed uint64) int {
+	post := func(seed uint64) (int, string) {
 		sp := tinySpec()
 		sp.Seed = seed
 		body, _ := json.Marshal(sp)
@@ -563,17 +565,148 @@ func TestHTTPQueueFull429(t *testing.T) {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		return resp.StatusCode
+		return resp.StatusCode, resp.Header.Get("Retry-After")
 	}
-	if code := post(1); code != http.StatusAccepted {
+	if code, _ := post(1); code != http.StatusAccepted {
 		t.Fatalf("job 1: %d", code)
 	}
 	<-started
-	if code := post(2); code != http.StatusAccepted {
+	if code, _ := post(2); code != http.StatusAccepted {
 		t.Fatalf("job 2: %d", code)
 	}
-	if code := post(3); code != http.StatusTooManyRequests {
+	code, retryAfter := post(3)
+	if code != http.StatusTooManyRequests {
 		t.Fatalf("job 3: %d, want 429", code)
+	}
+	// The rejection carries a drain-rate estimate, not an empty header.
+	secs, err := strconv.Atoi(retryAfter)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("queue-full Retry-After = %q, want an integer in [1, 60]", retryAfter)
+	}
+}
+
+// TestRetryAfterSecondsEstimate pins the drain-rate arithmetic: mean
+// service time × queue slots ahead ÷ workers, clamped to [1, 60].
+func TestRetryAfterSecondsEstimate(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 2 })
+	// Cold server: no completions yet, fall back to 1.
+	if got := s.RetryAfterSeconds(); got != 1 {
+		t.Fatalf("cold estimate = %d, want 1", got)
+	}
+	// Two finished jobs took 10s total -> 5s mean; empty queue, 2
+	// workers -> ceil(5s * 1 / 2) = 3.
+	s.completed.Store(2)
+	s.simNanosSum.Store(uint64(10 * time.Second))
+	if got := s.RetryAfterSeconds(); got != 3 {
+		t.Fatalf("estimate = %d, want 3", got)
+	}
+	// A pathological backlog clamps at 60 instead of telling the client
+	// to come back in an hour.
+	s.simNanosSum.Store(uint64(10 * time.Hour))
+	if got := s.RetryAfterSeconds(); got != 60 {
+		t.Fatalf("clamped estimate = %d, want 60", got)
+	}
+}
+
+// TestCachePutRoundTrip covers the replication/handoff write path: a
+// peer PUTs a result, the node serves it locally (including to Submit)
+// without simulating, and malformed writes are rejected.
+func TestCachePutRoundTrip(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	put := func(key, payload string) int {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/cache/"+key, strings.NewReader(payload))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	key, err := SpecKey(tinySpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := `{"planted":true}`
+	if code := put(key, payload); code != http.StatusNoContent {
+		t.Fatalf("PUT -> %d", code)
+	}
+	if code := put("deadbeef", payload); code != http.StatusBadRequest {
+		t.Fatalf("short key PUT -> %d, want 400", code)
+	}
+	if code := put(key, "not json"); code != http.StatusBadRequest {
+		t.Fatalf("garbage PUT -> %d, want 400", code)
+	}
+
+	// The stored entry is served back byte-identical...
+	resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(data) != payload {
+		t.Fatalf("GET after PUT: %d %q", resp.StatusCode, data)
+	}
+	// ...and adopted by Submit as a cache hit: zero simulations.
+	_, cached, err := s.Submit(context.Background(), tinySpec(), true)
+	if err != nil || string(cached) != payload {
+		t.Fatalf("Submit after PUT: cached=%q err=%v", cached, err)
+	}
+	st := s.Stats()
+	if st.PeerStored != 1 || st.Simulations != 0 {
+		t.Fatalf("stats after planted result: %+v", st)
+	}
+}
+
+// TestReplicateHookFiresOnCompletion: a successful simulation pushes
+// its result through Config.Replicate with the job's key and exact
+// bytes, off the worker goroutine, and the counters record the fanout.
+func TestReplicateHookFiresOnCompletion(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		gotKey  string
+		gotData []byte
+	)
+	s := newTestServer(t, func(c *Config) {
+		c.Replicate = func(ctx context.Context, key string, data []byte) (int, int) {
+			mu.Lock()
+			gotKey, gotData = key, append([]byte(nil), data...)
+			mu.Unlock()
+			return 1, 1
+		}
+	})
+	j, cached, err := s.Submit(context.Background(), tinySpec(), true)
+	if err != nil || cached != nil {
+		t.Fatalf("Submit: cached=%v err=%v", cached != nil, err)
+	}
+	waitDone(t, j)
+	result, ok := j.Result()
+	if !ok {
+		t.Fatalf("job ended %s", j.Status())
+	}
+	// The push is async; wait for the counters to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.ReplicaPushed == 1 && st.ReplicaFailed == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica counters never landed: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotKey != j.Key {
+		t.Fatalf("replicated key %s, want %s", gotKey, j.Key)
+	}
+	if !bytes.Equal(gotData, result) {
+		t.Fatal("replicated bytes differ from the job result")
 	}
 }
 

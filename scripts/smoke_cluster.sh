@@ -7,9 +7,14 @@
 #   - exactly one worker simulated each distinct spec (sharding works)
 #   - a worker asked directly for another shard's key answers from peer
 #     cache fill without re-simulating
+#   - a node added via POST /v1/members mid-sweep joins the ring and
+#     triggers a key-handoff pass that runs to completion
 #   - a worker killed with SIGKILL is routed around: the fleet keeps
 #     answering and the coordinator marks the node dead
-#   - the load summary passes the checkbench -load gate
+#   - after the membership change and the primary's death, a repeat
+#     sweep's cache-hit ratio does not regress (replication + handoff
+#     mean the dead node's keys are still served without re-simulating)
+#   - the load summaries pass the checkbench -load gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -93,7 +98,40 @@ SIMS=$(curl -fsS "$COORD/v1/fleet" | jq .totals.simulations)
 FILLS=$(curl -fsS "$COORD/v1/fleet" | jq '[.nodes[].stats.PeerFillHits] | add')
 [ "$FILLS" -ge 1 ] || { echo "no peer fill recorded"; exit 1; }
 
-echo "==> chaos: SIGKILL one worker, fleet keeps answering"
+echo "==> membership: add a 4th worker mid-sweep, handoff rebalances"
+W3="http://127.0.0.1:$((PORT_BASE + 3))"
+"$BINDIR/simd" -addr "127.0.0.1:$((PORT_BASE + 3))" -cache-dir "$CACHE_ROOT/w3" \
+  -workers 2 -peers "$PEERS,$W3" >"$BINDIR/worker3.log" 2>&1 &
+PIDS+=($!)
+for _ in $(seq 1 50); do
+  curl -fsS "$W3/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$W3/healthz" >/dev/null
+# The add lands while this sweep is in flight: requests must keep
+# succeeding across the ring change.
+LOAD2_JSON="$BINDIR/load2.json"
+"$BINDIR/simdload" -url "$COORD" -n 120 -c 16 -tenants 4 -specs 8 -budget 3000 -json "$LOAD2_JSON" &
+SWEEP2=$!
+R=$(curl -fsS -X POST "$COORD/v1/members" -d "{\"action\":\"add\",\"node\":\"$W3\"}")
+echo "$R" | jq -e '.changed == true and .handoff == true' >/dev/null \
+  || { echo "member add did not change the ring: $R"; exit 1; }
+wait "$SWEEP2"
+"$BINDIR/checkbench" -load -min-rps 1 "$LOAD2_JSON"
+echo "==> handoff pass runs to completion"
+for _ in $(seq 1 100); do
+  METRICS=$(curl -fsS "$COORD/metrics")
+  RUNS=$(echo "$METRICS" | awk '/^simd_cluster_handoff_runs_total/ {print $2}')
+  ACTIVE=$(echo "$METRICS" | awk '/^simd_cluster_handoff_active/ {print $2}')
+  [ "${RUNS:-0}" -ge 1 ] && [ "${ACTIVE:-1}" -eq 0 ] && break
+  sleep 0.2
+done
+[ "${RUNS:-0}" -ge 1 ] && [ "${ACTIVE:-1}" -eq 0 ] \
+  || { echo "handoff never completed (runs=$RUNS active=$ACTIVE)"; exit 1; }
+N_MEMBERS=$(curl -fsS "$COORD/v1/members" | jq '.members | length')
+[ "$N_MEMBERS" -eq 4 ] || { echo "coordinator reports $N_MEMBERS members, want 4"; exit 1; }
+
+echo "==> chaos: SIGKILL an old primary, fleet keeps answering"
 kill -9 "$WPID0"
 for seed in 99 101 102 103; do
   R=$(curl -fsS -X POST "$COORD/v1/runs?wait=1" \
@@ -101,8 +139,21 @@ for seed in 99 101 102 103; do
   echo "$R" | jq -e '.status == "done"' >/dev/null \
     || { echo "post-kill submission failed: $R"; exit 1; }
 done
-METRICS=$(curl -fsS "$COORD/metrics")
-ALIVE=$(echo "$METRICS" | awk '/^simd_cluster_nodes_alive/ {print $2}')
-[ "$ALIVE" -le 2 ] || { echo "dead node still counted alive"; echo "$METRICS"; exit 1; }
+# The health prober needs a cycle or two to notice the corpse.
+for _ in $(seq 1 100); do
+  ALIVE=$(curl -fsS "$COORD/metrics" | awk '/^simd_cluster_nodes_alive/ {print $2}')
+  [ "${ALIVE:-4}" -le 3 ] && break
+  sleep 0.2
+done
+[ "${ALIVE:-4}" -le 3 ] || { echo "dead node still counted alive ($ALIVE)"; exit 1; }
+
+echo "==> hit ratio survives the membership change + primary death"
+# Replication (R=2) plus handoff mean every key the dead worker held is
+# still served from a live replica: a repeat of the original sweep must
+# hit the cache at least as often as the first pass did.
+RATE1=$(jq .cache_hit_rate "$LOAD_JSON")
+LOAD3_JSON="$BINDIR/load3.json"
+"$BINDIR/simdload" -url "$COORD" -n 120 -c 16 -tenants 4 -specs 8 -budget 3000 -json "$LOAD3_JSON"
+"$BINDIR/checkbench" -load -min-rps 1 -min-hit-rate "$RATE1" "$LOAD3_JSON"
 
 echo "OK"
