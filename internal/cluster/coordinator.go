@@ -148,14 +148,18 @@ type Coordinator struct {
 	healthWG   sync.WaitGroup
 
 	// Handoff state: one pass runs at a time; a membership change while
-	// one is running flags a rerun (handoff.go).
+	// one is running flags a rerun (handoff.go). handoffClosed is set
+	// under handoffMu before Close waits, so neither kickHandoff nor
+	// syncWorkers can Add to a WaitGroup that is already being waited on.
 	//tlrob:allow(process-lifetime base context for background handoff, cancelled by Close)
 	handoffCtx     context.Context
 	handoffCancel  context.CancelFunc
 	handoffMu      sync.Mutex
 	handoffRunning bool
 	handoffPending bool
+	handoffClosed  bool
 	handoffWG      sync.WaitGroup
+	syncWG         sync.WaitGroup
 
 	// now is injectable so route-eviction tests can advance the clock.
 	now func() time.Time
@@ -223,15 +227,19 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close stops the health prober and any running handoff pass. Safe to
-// call more than once.
+// Close stops the health prober, any running handoff pass and in-flight
+// member syncs. Safe to call more than once.
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		close(c.stopHealth)
+		c.handoffMu.Lock()
+		c.handoffClosed = true
+		c.handoffMu.Unlock()
 		c.handoffCancel()
 	})
 	c.healthWG.Wait()
 	c.handoffWG.Wait()
+	c.syncWG.Wait()
 }
 
 // Owners exposes the routing decision for key (tests, debugging).
@@ -303,9 +311,17 @@ func (c *Coordinator) syncWorkers(before, after []string) {
 		c.cfg.Logf("cluster: member sync: %v", err)
 		return
 	}
+	c.handoffMu.Lock()
+	if c.handoffClosed {
+		c.handoffMu.Unlock()
+		return
+	}
+	c.syncWG.Add(len(targets))
+	c.handoffMu.Unlock()
 	for node := range targets {
 		node := node
 		go func() {
+			defer c.syncWG.Done()
 			ctx, cancel := context.WithTimeout(c.handoffCtx, c.cfg.HealthTimeout)
 			defer cancel()
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/members", bytes.NewReader(body))
@@ -501,14 +517,23 @@ func (c *Coordinator) rememberRoute(id, node string) {
 		return
 	}
 	c.routesMu.Lock()
-	if _, ok := c.jobRoutes[id]; !ok {
+	if e, ok := c.jobRoutes[id]; ok {
+		// Duplicate submit for a tracked job: refresh node and touch
+		// time in place, keeping any terminal timestamp so the RouteTTL
+		// eviction clock doesn't restart.
+		e.node = node
+		e.seen = c.now()
+	} else {
 		c.routeFIFO = append(c.routeFIFO, id)
 		for len(c.routeFIFO) > maxJobRoutes {
-			delete(c.jobRoutes, c.routeFIFO[0])
+			if _, ok := c.jobRoutes[c.routeFIFO[0]]; ok {
+				delete(c.jobRoutes, c.routeFIFO[0])
+				c.routeEvictions.Add(1)
+			}
 			c.routeFIFO = c.routeFIFO[1:]
 		}
+		c.jobRoutes[id] = &routeEntry{node: node, seen: c.now()}
 	}
-	c.jobRoutes[id] = &routeEntry{node: node, seen: c.now()}
 	c.routesMu.Unlock()
 }
 
@@ -767,6 +792,36 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Write(res.body)
 }
 
+// statusPeek passes an upstream body through unchanged while keeping a
+// bounded prefix; onEOF fires once with that prefix when the client has
+// drained the whole response. A half-read body (client went away) never
+// fires — it proves nothing about the job's status.
+type statusPeek struct {
+	body  io.ReadCloser
+	limit int
+	buf   bytes.Buffer
+	onEOF func(prefix []byte)
+	fired bool
+}
+
+func (p *statusPeek) Read(b []byte) (int, error) {
+	n, err := p.body.Read(b)
+	if n > 0 && p.buf.Len() < p.limit {
+		keep := n
+		if room := p.limit - p.buf.Len(); keep > room {
+			keep = room
+		}
+		p.buf.Write(b[:keep])
+	}
+	if err == io.EOF && !p.fired {
+		p.fired = true
+		p.onEOF(p.buf.Bytes())
+	}
+	return n, err
+}
+
+func (p *statusPeek) Close() error { return p.body.Close() }
+
 // terminalStatus mirrors server.Status.terminal over the wire form.
 func terminalStatus(s string) bool {
 	switch server.Status(s) {
@@ -841,19 +896,19 @@ func (c *Coordinator) handleProxyJob(w http.ResponseWriter, r *http.Request) {
 				c.dropRoute(id)
 			case r.Method == http.MethodGet && !isEvents:
 				// Peek at the status without disturbing the stream the
-				// client sees.
-				data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-				if err != nil {
-					return err
-				}
-				resp.Body.Close()
-				resp.Body = io.NopCloser(bytes.NewReader(data))
-				var job struct {
-					Status string `json:"status"`
-				}
-				if json.Unmarshal(data, &job) == nil && terminalStatus(job.Status) {
-					c.markRouteTerminal(id)
-				}
+				// client sees: the full body (results can be multi-MB)
+				// streams through untouched, Content-Length stays
+				// truthful, and only a bounded prefix is kept for the
+				// parse. A body that outgrows the prefix fails the JSON
+				// parse and the RouteMaxAge sweep evicts the route.
+				resp.Body = &statusPeek{body: resp.Body, limit: 1 << 20, onEOF: func(prefix []byte) {
+					var job struct {
+						Status string `json:"status"`
+					}
+					if json.Unmarshal(prefix, &job) == nil && terminalStatus(job.Status) {
+						c.markRouteTerminal(id)
+					}
+				}}
 			}
 			return nil
 		},

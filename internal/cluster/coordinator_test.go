@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -776,5 +777,113 @@ func TestRetryAfterComputedNotHardcoded(t *testing.T) {
 	}
 	if got := rec.Header().Get("Retry-After"); got != "7" {
 		t.Fatalf("exhausted Retry-After = %q, want the worker's %q", got, "7")
+	}
+}
+
+// TestProxyStatusPeekDoesNotTruncateLargeBodies pins the fix for the
+// proxy's terminal-status peek: a status response bigger than the 1MB
+// peek prefix must reach the client complete and byte-identical (the
+// old buffer-and-replace cut it off mid-body while Content-Length still
+// advertised the full size), and a too-big prefix must not be
+// misparsed as a status. Small terminal responses still start the
+// route's eviction clock.
+func TestProxyStatusPeekDoesNotTruncateLargeBodies(t *testing.T) {
+	big := []byte(`{"status":"done","result":"` + strings.Repeat("x", 3<<20) + `"}`)
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/runs/big":
+			w.Write(big)
+		case "/v1/runs/small":
+			w.Write([]byte(`{"status":"done"}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer upstream.Close()
+
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{upstream.URL},
+		VNodes:         16,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.rememberRoute("big", upstream.URL)
+	c.rememberRoute("small", upstream.URL)
+	terminal := func(id string) bool {
+		c.routesMu.Lock()
+		defer c.routesMu.Unlock()
+		e, ok := c.jobRoutes[id]
+		return ok && !e.terminal.IsZero()
+	}
+
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/big", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("large status GET -> %d", rec.Code)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), big) {
+		t.Fatalf("large body corrupted in proxy: got %d bytes, want %d", rec.Body.Len(), len(big))
+	}
+	if terminal("big") {
+		t.Fatal("truncated peek prefix must not be parsed as a terminal status")
+	}
+
+	rec = httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/small", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small status GET -> %d", rec.Code)
+	}
+	if !terminal("small") {
+		t.Fatal("small terminal response did not start the route's eviction clock")
+	}
+}
+
+// TestRememberRoutePreservesTerminal: re-remembering a tracked job (a
+// duplicate submit response) must update node and touch time in place —
+// not replace the entry and silently restart the RouteTTL eviction
+// clock — and the FIFO-cap eviction path must count into
+// route_evictions like every other eviction.
+func TestRememberRoutePreservesTerminal(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{"http://127.0.0.1:1"},
+		VNodes:         16,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	c.rememberRoute("job", "http://n1:1")
+	c.markRouteTerminal("job")
+	c.rememberRoute("job", "http://n2:1")
+	c.routesMu.Lock()
+	e, fifo := c.jobRoutes["job"], len(c.routeFIFO)
+	c.routesMu.Unlock()
+	if e.node != "http://n2:1" {
+		t.Fatalf("node not refreshed: %q", e.node)
+	}
+	if e.terminal.IsZero() {
+		t.Fatal("duplicate remember cleared the terminal timestamp (TTL clock restarted)")
+	}
+	if fifo != 1 {
+		t.Fatalf("duplicate remember grew the FIFO to %d entries", fifo)
+	}
+
+	before := c.routeEvictions.Load()
+	for i := 0; i < maxJobRoutes+10; i++ {
+		c.rememberRoute(fmt.Sprintf("j%d", i), "http://n1:1")
+	}
+	if got := c.RouteCount(); got != maxJobRoutes {
+		t.Fatalf("route count %d after FIFO cap, want %d", got, maxJobRoutes)
+	}
+	if c.routeEvictions.Load() <= before {
+		t.Fatal("FIFO-cap eviction not counted in route_evictions")
 	}
 }

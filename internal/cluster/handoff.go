@@ -33,6 +33,9 @@ import (
 func (c *Coordinator) kickHandoff() {
 	c.handoffMu.Lock()
 	defer c.handoffMu.Unlock()
+	if c.handoffClosed {
+		return // Close has begun; don't race its handoffWG.Wait
+	}
 	if c.handoffRunning {
 		c.handoffPending = true
 		return

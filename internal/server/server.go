@@ -226,6 +226,10 @@ type Server struct {
 	submitted, coalesced, rejected            atomic.Uint64
 	completed, failed, canceled               atomic.Uint64
 	retries, simulations, cycles, simNanosSum atomic.Uint64
+	// simTimedJobs counts the jobs whose wall time entered simNanosSum —
+	// jobs canceled while still queued never run and must not dilute the
+	// mean service time that RetryAfterSeconds reports.
+	simTimedJobs atomic.Uint64
 	peerFillHits, peerFillMisses, peerServed  atomic.Uint64
 	peerStored                                atomic.Uint64
 	replicaPushed, replicaFailed              atomic.Uint64
@@ -454,6 +458,7 @@ func (s *Server) runJob(j *Job) {
 		backoff *= 2
 	}
 	s.simNanosSum.Add(uint64(time.Since(start).Nanoseconds()))
+	s.simTimedJobs.Add(1)
 
 	switch {
 	case runErr == nil:
@@ -577,11 +582,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // still answers something sane and a deeply backed-up one doesn't tell
 // clients to disappear for an hour.
 func (s *Server) RetryAfterSeconds() int {
-	finished := s.completed.Load() + s.failed.Load() + s.canceled.Load()
-	if finished == 0 {
+	timed := s.simTimedJobs.Load()
+	if timed == 0 {
 		return 1
 	}
-	mean := time.Duration(s.simNanosSum.Load() / finished)
+	mean := time.Duration(s.simNanosSum.Load() / timed)
 	wait := mean * time.Duration(len(s.queue)+1) / time.Duration(s.cfg.Workers)
 	secs := int((wait + time.Second - 1) / time.Second)
 	if secs < 1 {

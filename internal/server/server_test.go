@@ -593,12 +593,19 @@ func TestRetryAfterSecondsEstimate(t *testing.T) {
 	if got := s.RetryAfterSeconds(); got != 1 {
 		t.Fatalf("cold estimate = %d, want 1", got)
 	}
-	// Two finished jobs took 10s total -> 5s mean; empty queue, 2
+	// Two timed jobs took 10s total -> 5s mean; empty queue, 2
 	// workers -> ceil(5s * 1 / 2) = 3.
 	s.completed.Store(2)
+	s.simTimedJobs.Store(2)
 	s.simNanosSum.Store(uint64(10 * time.Second))
 	if got := s.RetryAfterSeconds(); got != 3 {
 		t.Fatalf("estimate = %d, want 3", got)
+	}
+	// Jobs canceled while still queued never ran: they must not dilute
+	// the mean service time (they'd drag the estimate toward zero).
+	s.canceled.Store(100)
+	if got := s.RetryAfterSeconds(); got != 3 {
+		t.Fatalf("estimate with queue-cancels = %d, want 3", got)
 	}
 	// A pathological backlog clamps at 60 instead of telling the client
 	// to come back in an hour.
