@@ -30,6 +30,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one static check. Run inspects a single package via
@@ -79,10 +80,31 @@ func (d Diagnostic) String() string {
 // diagnostics, and returns the remainder sorted by file, line, column,
 // analyzer — a deterministic order suitable for golden CI output.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// A Timing is one analyzer's wall-clock cost summed over every
+// package it ran on.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunTimed is Run plus a per-analyzer wall-time breakdown, so the lint
+// job can show where its budget goes as the suite grows. Suppression
+// maps are computed once per package and shared by all analyzers.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
+	allows := make([]map[lineKey]bool, len(pkgs))
+	for i, pkg := range pkgs {
+		allows[i] = allowedLines(pkg.Fset, pkg.Files)
+	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allow := allowedLines(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now()
+		for i, pkg := range pkgs {
+			allow := allows[i]
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -96,12 +118,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				},
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
 			}
 		}
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
 	Sort(diags)
-	return diags, nil
+	return diags, timings, nil
 }
 
 // Sort orders diagnostics by file, line, column, analyzer, message.

@@ -1,0 +1,12 @@
+package bodyclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bodyclose"
+)
+
+func TestBodyclose(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), bodyclose.Analyzer, "resp")
+}

@@ -1,0 +1,374 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a single function and returns its body.
+func parseBody(t *testing.T, fn string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+fn, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// marks extracts the argument names of mark(...) calls in a block, the
+// test's way of labeling statements.
+func marks(b *Block) []string {
+	var out []string
+	for _, n := range b.Nodes {
+		Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+				if arg, ok := call.Args[0].(*ast.Ident); ok {
+					out = append(out, arg.Name)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func findMark(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, m := range marks(b) {
+			if m == name {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains mark(%s)", name)
+	return nil
+}
+
+// genKillFlow interprets gen(x)/kill(x) calls as set operations, the
+// simplest possible client of the solver.
+func genKillFlow(join JoinKind) *Flow[string] {
+	return &Flow[string]{
+		Join: join,
+		Transfer: func(n ast.Node, fact Set[string]) {
+			Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				arg, ok := call.Args[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch id.Name {
+				case "gen":
+					fact.Add(arg.Name)
+				case "kill":
+					fact.Delete(arg.Name)
+				}
+				return true
+			})
+		},
+	}
+}
+
+func sorted(s Set[string]) []string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func exitFact(t *testing.T, src string, join JoinKind) []string {
+	t.Helper()
+	g := New(parseBody(t, src), Options{})
+	ins := genKillFlow(join).Solve(g)
+	return sorted(ins[g.Exit])
+}
+
+func TestIfElseBranchEdges(t *testing.T) {
+	g := New(parseBody(t, `func f() {
+		if c {
+			mark(then)
+		} else {
+			mark(els)
+		}
+		mark(done)
+	}`), Options{})
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block has Cond set")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("cond block has %d succs, want 2", len(cond.Succs))
+	}
+	if got := marks(cond.Succs[0]); len(got) != 1 || got[0] != "then" {
+		t.Errorf("true edge leads to %v, want [then]", got)
+	}
+	if got := marks(cond.Succs[1]); len(got) != 1 || got[0] != "els" {
+		t.Errorf("false edge leads to %v, want [els]", got)
+	}
+}
+
+func TestJoinKinds(t *testing.T) {
+	src := `func f() {
+		gen(a)
+		if c {
+			kill(a)
+			gen(b)
+		}
+	}`
+	if got := exitFact(t, src, Must); len(got) != 0 {
+		t.Errorf("must-exit = %v, want empty", got)
+	}
+	if got := exitFact(t, src, May); strings.Join(got, ",") != "a,b" {
+		t.Errorf("may-exit = %v, want [a b]", got)
+	}
+}
+
+func TestReturnPathsJoinAtExit(t *testing.T) {
+	src := `func f() {
+		gen(a)
+		if c {
+			kill(a)
+			return
+		}
+		gen(b)
+	}`
+	// The early return contributes {} to Exit, the fall-through {a,b}.
+	if got := exitFact(t, src, Must); len(got) != 0 {
+		t.Errorf("must-exit = %v, want empty", got)
+	}
+	if got := exitFact(t, src, May); strings.Join(got, ",") != "a,b" {
+		t.Errorf("may-exit = %v, want [a b]", got)
+	}
+}
+
+func TestLoopBreakContinue(t *testing.T) {
+	src := `func f() {
+		for i := 0; i < n; i++ {
+			if c {
+				continue
+			}
+			if d {
+				gen(a)
+				break
+			}
+			kill(a)
+		}
+	}`
+	// Exit is reachable via the loop condition (no a on first
+	// evaluation) and via break (a held); May must see both.
+	if got := exitFact(t, src, May); strings.Join(got, ",") != "a" {
+		t.Errorf("may-exit = %v, want [a]", got)
+	}
+	if got := exitFact(t, src, Must); len(got) != 0 {
+		t.Errorf("must-exit = %v, want empty", got)
+	}
+}
+
+func TestSelectDecomposition(t *testing.T) {
+	g := New(parseBody(t, `func f() {
+		select {
+		case <-ch:
+			mark(recv)
+		case ch <- v:
+			mark(send)
+		}
+		mark(done)
+	}`), Options{})
+	var header *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				header = b
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no block holds the select header node")
+	}
+	if len(header.Succs) != 2 {
+		t.Fatalf("select header has %d succs, want 2", len(header.Succs))
+	}
+	if got := marks(header.Succs[0]); len(got) != 1 || got[0] != "recv" {
+		t.Errorf("first clause block has marks %v, want [recv]", got)
+	}
+	if got := marks(header.Succs[1]); len(got) != 1 || got[0] != "send" {
+		t.Errorf("second clause block has marks %v, want [send]", got)
+	}
+	// The header node must not leak clause bodies into a walk.
+	count := 0
+	for _, n := range header.Nodes {
+		Inspect(n, func(m ast.Node) bool { count++; return true })
+	}
+	if count != 1 {
+		t.Errorf("walking the header visited %d nodes, want 1 (the SelectStmt)", count)
+	}
+}
+
+func TestRangeHeaderPrunesBody(t *testing.T) {
+	g := New(parseBody(t, `func f() {
+		for k := range m {
+			mark(body)
+		}
+		mark(done)
+	}`), Options{})
+	body := findMark(t, g, "body")
+	for _, n := range body.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			t.Error("loop body block holds the RangeStmt header")
+		}
+	}
+	var header *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				header = b
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no header block")
+	}
+	for _, n := range header.Nodes {
+		Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && id.Name == "body" {
+				t.Error("Inspect on the range header descended into the body")
+			}
+			return true
+		})
+	}
+}
+
+func TestGotoAndUnreachable(t *testing.T) {
+	g := New(parseBody(t, `func f() {
+		goto L
+		mark(dead)
+	L:
+		mark(live)
+	}`), Options{})
+	if b := findMark(t, g, "dead"); g.Reachable(b) {
+		t.Error("statements after goto are reachable")
+	}
+	if b := findMark(t, g, "live"); !g.Reachable(b) {
+		t.Error("labeled statement is unreachable")
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	src := `func f() {
+		gen(a)
+		if c {
+			panic("boom")
+		}
+		kill(a)
+	}`
+	// The panic arm never reaches Exit, so even May sees no a.
+	if got := exitFact(t, src, May); len(got) != 0 {
+		t.Errorf("may-exit = %v, want empty (panic path pruned)", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `func f() {
+		switch x {
+		case 1:
+			gen(a)
+			fallthrough
+		case 2:
+			gen(b)
+		default:
+			gen(c)
+		}
+	}`
+	if got := exitFact(t, src, May); strings.Join(got, ",") != "a,b,c" {
+		t.Errorf("may-exit = %v, want [a b c]", got)
+	}
+	if got := exitFact(t, src, Must); len(got) != 0 {
+		t.Errorf("must-exit = %v, want empty", got)
+	}
+}
+
+func TestEdgeRefinement(t *testing.T) {
+	g := New(parseBody(t, `func f() {
+		gen(a)
+		if c {
+			mark(then)
+		}
+	}`), Options{})
+	f := genKillFlow(May)
+	f.Edge = func(from *Block, i int, fact Set[string]) {
+		if from.Cond != nil && i == 0 { // refine the true edge only
+			fact.Delete("a")
+		}
+	}
+	ins := f.Solve(g)
+	then := findMark(t, g, "then")
+	if fact := ins[then]; fact.Has("a") {
+		t.Error("true-edge refinement did not kill the fact")
+	}
+	if fact := ins[g.Exit]; !fact.Has("a") {
+		t.Error("false edge lost the fact")
+	}
+}
+
+func TestFuncLitIsSeparateFunction(t *testing.T) {
+	body := parseBody(t, `func f() {
+		gen(a)
+		g := func() {
+			kill(a)
+		}
+		_ = g
+	}`)
+	g := New(body, Options{})
+	ins := genKillFlow(Must).Solve(g)
+	if fact := ins[g.Exit]; !fact.Has("a") {
+		t.Error("kill inside a function literal leaked into the enclosing flow")
+	}
+	if fbs := FuncBodies(&ast.File{}); fbs != nil {
+		t.Error("FuncBodies of empty file should be nil")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	src := `func f() {
+	outer:
+		for {
+			for {
+				gen(a)
+				break outer
+			}
+		}
+		gen(b)
+	}`
+	if got := exitFact(t, src, Must); strings.Join(got, ",") != "a,b" {
+		t.Errorf("must-exit = %v, want [a b]", got)
+	}
+}

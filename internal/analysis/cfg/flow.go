@@ -1,0 +1,108 @@
+package cfg
+
+import "go/ast"
+
+// A Set is a dataflow fact set over comparable keys.
+type Set[K comparable] map[K]struct{}
+
+// Has reports whether k is in s.
+func (s Set[K]) Has(k K) bool { _, ok := s[k]; return ok }
+
+// Add inserts k.
+func (s Set[K]) Add(k K) { s[k] = struct{}{} }
+
+// Delete removes k.
+func (s Set[K]) Delete(k K) { delete(s, k) }
+
+// Clone returns an independent copy of s.
+func (s Set[K]) Clone() Set[K] {
+	c := make(Set[K], len(s))
+	for k := range s {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+// JoinKind selects how facts merge where paths meet.
+type JoinKind int
+
+const (
+	// May joins by union: a fact holds if it holds on any incoming
+	// path. Use for "this resource might still be open".
+	May JoinKind = iota
+	// Must joins by intersection: a fact holds only if it holds on
+	// every incoming path. Use for "this lock is definitely held".
+	Must
+)
+
+// A Flow is one dataflow problem over a Graph: a join rule, a transfer
+// function applied to each block node in order, and an optional
+// per-edge refinement.
+type Flow[K comparable] struct {
+	Join JoinKind
+
+	// Transfer applies the effect of one block node to fact in place.
+	Transfer func(n ast.Node, fact Set[K])
+
+	// Edge, when non-nil, refines the fact set flowing along the edge
+	// from.Succs[i] — e.g. killing a "response open" fact on the
+	// err != nil arm of the branch guarding it.
+	Edge func(from *Block, i int, fact Set[K])
+}
+
+// Solve iterates to a fixed point and returns the fact set holding at
+// entry to each block. Unreachable blocks have no entry in the result.
+// Transfer functions must be monotone (pure gen/kill) for termination.
+func (f *Flow[K]) Solve(g *Graph) map[*Block]Set[K] {
+	in := map[*Block]Set[K]{g.Entry: {}}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[blk].Clone()
+		for _, n := range blk.Nodes {
+			if f.Transfer != nil {
+				f.Transfer(n, out)
+			}
+		}
+		for i, succ := range blk.Succs {
+			fact := out.Clone()
+			if f.Edge != nil {
+				f.Edge(blk, i, fact)
+			}
+			old, seen := in[succ]
+			if !seen {
+				in[succ] = fact
+				work = append(work, succ)
+				continue
+			}
+			if f.merge(old, fact) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// merge joins src into dst in place, reporting whether dst changed.
+// For Must, a block's first-seen fact acts as TOP: later joins only
+// shrink it.
+func (f *Flow[K]) merge(dst, src Set[K]) bool {
+	changed := false
+	if f.Join == May {
+		for k := range src {
+			if !dst.Has(k) {
+				dst.Add(k)
+				changed = true
+			}
+		}
+		return changed
+	}
+	for k := range dst {
+		if !src.Has(k) {
+			dst.Delete(k)
+			changed = true
+		}
+	}
+	return changed
+}

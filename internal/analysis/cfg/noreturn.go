@@ -1,0 +1,34 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StdNoReturn returns a NoReturn predicate recognizing the standard
+// library's process- and goroutine-terminating calls: os.Exit, the
+// log.Fatal*/log.Panic* family, and runtime.Goexit. (The panic builtin
+// is handled by the builder itself.)
+func StdNoReturn(info *types.Info) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		name := obj.Name()
+		switch obj.Pkg().Path() {
+		case "os":
+			return name == "Exit"
+		case "log":
+			return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+		case "runtime":
+			return name == "Goexit"
+		}
+		return false
+	}
+}

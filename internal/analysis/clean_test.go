@@ -8,9 +8,12 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/bodyclose"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/exhaustcause"
+	"repro/internal/analysis/golifecycle"
+	"repro/internal/analysis/lockguard"
 )
 
 // TestRepoTipIsClean is the acceptance gate in test form: the whole
@@ -37,9 +40,12 @@ func TestRepoTipIsClean(t *testing.T) {
 	}
 	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{
 		allocfree.Analyzer,
+		bodyclose.Analyzer,
 		ctxflow.Analyzer,
 		determinism.Analyzer,
 		exhaustcause.Analyzer,
+		golifecycle.Analyzer,
+		lockguard.Analyzer,
 	})
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)

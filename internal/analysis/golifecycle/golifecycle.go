@@ -1,0 +1,211 @@
+// Package golifecycle enforces the fleet's goroutine-lifecycle
+// convention in the long-lived packages internal/cluster,
+// internal/server, and internal/store: every `go` statement must be
+// tracked, either by a sync.WaitGroup.Add that executes before the
+// spawn on every path (so a later Wait observes the goroutine), or by
+// the goroutine itself selecting/receiving on a stop channel —
+// anything of type chan struct{}, which includes ctx.Done(). An
+// untracked spawn is a fire-and-forget goroutine that Close/Shutdown
+// cannot join and the leak checker will eventually catch at runtime;
+// this pass catches it at build time.
+//
+// The Add-before rule is CFG-must: `wg.Add(1)` inside the goroutine
+// body does not count — that is exactly the Add-after-Wait race PR 9
+// shipped and review had to fix (Wait can run and return before the
+// goroutine starts and Adds), and it gets a dedicated diagnostic.
+//
+// The analysis is intraprocedural: spawning a named method
+// (`go c.healthLoop()`) is only provably tracked via Add-before, even
+// if the method's body selects on a stop channel. Genuinely bounded
+// spawns that fit neither shape (e.g. a goroutine whose only job is
+// to Wait on a WaitGroup and close a done channel) carry a reviewed
+// //tlrob:allow(reason). Test files are exempt.
+package golifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the golifecycle pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "golifecycle",
+	Doc:  "every go statement in cluster/server/store needs WaitGroup.Add before the spawn or a stop-channel/ctx.Done() receive in the body",
+	Run:  run,
+}
+
+// tracked names the long-lived packages (by final import-path
+// segment) whose spawns must be joinable or cancellable.
+var tracked = map[string]bool{"cluster": true, "server": true, "store": true}
+
+func run(pass *analysis.Pass) error {
+	if !tracked[lastSegment(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, fb := range cfg.FuncBodies(file) {
+			check(pass, fb.Body)
+		}
+	}
+	return nil
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	g := cfg.New(body, cfg.Options{NoReturn: cfg.StdNoReturn(info)})
+	flow := &cfg.Flow[string]{
+		Join: cfg.Must,
+		Transfer: func(n ast.Node, fact cfg.Set[string]) {
+			applyAdds(info, n, fact)
+		},
+	}
+	ins := flow.Solve(g)
+	for _, blk := range g.Blocks {
+		in, ok := ins[blk]
+		if !ok {
+			continue
+		}
+		fact := in.Clone()
+		for _, n := range blk.Nodes {
+			visitSpawns(pass, n, fact)
+			applyAdds(info, n, fact)
+		}
+	}
+}
+
+// applyAdds records WaitGroup.Add calls in the node's subtree as
+// "add <receiver>" facts. cfg.Inspect prunes function-literal bodies,
+// so an Add inside a spawned goroutine never generates a fact — the
+// point of the whole analyzer.
+func applyAdds(info *types.Info, n ast.Node, fact cfg.Set[string]) {
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if key, ok := waitGroupAdd(info, call); ok {
+				fact.Add("add " + key)
+			}
+		}
+		return true
+	})
+}
+
+// visitSpawns reports untracked go statements in the node's subtree,
+// given the must-facts holding at the node.
+func visitSpawns(pass *analysis.Pass, n ast.Node, fact cfg.Set[string]) {
+	cfg.Inspect(n, func(m ast.Node) bool {
+		gs, ok := m.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for k := range fact {
+			if strings.HasPrefix(k, "add ") {
+				return true // Add happens-before the spawn on every path
+			}
+		}
+		lit, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if isLit {
+			if hasStopReceive(pass.TypesInfo, lit.Body) {
+				return true // the goroutine can be cancelled
+			}
+			if hasWaitGroupAdd(pass.TypesInfo, lit.Body) {
+				pass.Reportf(gs.Pos(), "WaitGroup.Add inside the goroutine body: Wait can run before the goroutine starts and return early (the Add-after-Wait race); move Add before the go statement")
+				return true
+			}
+		}
+		pass.Reportf(gs.Pos(), "untracked goroutine: no WaitGroup.Add on every path before the spawn and no stop-channel/ctx.Done() receive in the body; Close/Shutdown cannot join or cancel it")
+		return true
+	})
+}
+
+// waitGroupAdd classifies call as (*sync.WaitGroup).Add, returning the
+// receiver expression.
+func waitGroupAdd(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Add" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !analysis.IsNamedType(sig.Recv().Type(), "sync", "WaitGroup") {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// hasStopReceive reports whether body (excluding nested function
+// literals) receives from — or ranges over — a channel of element
+// type struct{}. ctx.Done() returns <-chan struct{}, so the context
+// idiom and dedicated stop/quit channels both satisfy this.
+func hasStopReceive(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isStopChan(info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isStopChan(info.TypeOf(n.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isStopChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// hasWaitGroupAdd reports whether body contains a WaitGroup.Add call
+// (nested literals included: an Add anywhere inside the spawned
+// closure is the racy shape).
+func hasWaitGroupAdd(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := waitGroupAdd(info, call); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

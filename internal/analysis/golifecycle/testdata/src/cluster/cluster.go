@@ -1,0 +1,131 @@
+// Package cluster is a fixture standing in for internal/cluster: its
+// import path ends in "cluster", so golifecycle applies.
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+var (
+	wg      sync.WaitGroup
+	stop    = make(chan struct{})
+	results = make(chan int)
+)
+
+func work() {}
+
+// --- tracked spawns ---
+
+func addBeforeSpawn() {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func addBeforeMethodSpawn(c *coord) {
+	c.wg.Add(1)
+	go c.loop()
+}
+
+type coord struct{ wg sync.WaitGroup }
+
+func (c *coord) loop() {}
+
+func addCountBeforeLoop(n int) {
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+}
+
+func ctxDoneSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-results:
+				_ = v
+			}
+		}
+	}()
+}
+
+func stopChannelSelect() {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case results <- 1:
+			}
+		}
+	}()
+}
+
+func rangeOverStopChannel() {
+	go func() {
+		for range stop {
+			work()
+		}
+	}()
+}
+
+// --- untracked spawns ---
+
+func fireAndForget() {
+	go func() { // want "untracked goroutine"
+		results <- 42
+	}()
+}
+
+func fireAndForgetMethod(c *coord) {
+	go c.loop() // want "untracked goroutine"
+}
+
+func addAfterWaitRace() {
+	go func() { // want "WaitGroup.Add inside the goroutine body"
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+}
+
+// addOnOneBranch: the Add does not dominate the spawn, so Wait may
+// miss the goroutine.
+func addOnOneBranch(b bool) {
+	if b {
+		wg.Add(1)
+	}
+	go func() { // want "untracked goroutine"
+		work()
+	}()
+}
+
+// nestedStopReceiveDoesNotCount: the receive lives in an inner
+// literal, not the spawned body itself.
+func nestedStopReceiveDoesNotCount() {
+	go func() { // want "untracked goroutine"
+		f := func() { <-stop }
+		_ = f
+		work()
+	}()
+}
+
+// boundedJoiner is the reviewed-suppression idiom for a spawn that is
+// bounded by construction but fits neither tracked shape.
+func boundedJoiner() chan struct{} {
+	done := make(chan struct{})
+	//tlrob:allow(joiner goroutine: exits when wg drains, joined via done)
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	return done
+}

@@ -1,0 +1,9 @@
+// Package other is outside the long-lived package set, so golifecycle
+// ignores even a bare fire-and-forget spawn.
+package other
+
+func fireAndForget() {
+	go func() {
+		println("ok")
+	}()
+}

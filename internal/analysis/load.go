@@ -39,6 +39,7 @@ type listPackage struct {
 	GoFiles    []string
 	Export     string
 	Standard   bool
+	DepOnly    bool // listed only as a dependency, not matched by the patterns
 	Incomplete bool
 	Error      *struct{ Err string }
 }
@@ -52,20 +53,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	// One `go list` pass yields the analysis roots, their transitive
+	// dependencies, and every export-data path: DepOnly distinguishes
+	// packages pulled in as dependencies from the pattern matches, so
+	// no second resolution run is needed no matter how many analyzers
+	// share the load.
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	out, err := runGo(dir, args...)
 	if err != nil {
 		return nil, err
-	}
-	roots, err := runGo(dir, append([]string{"list", "-e"}, patterns...)...)
-	if err != nil {
-		return nil, err
-	}
-	inRoots := make(map[string]bool)
-	for _, line := range strings.Split(strings.TrimSpace(string(roots)), "\n") {
-		if line != "" {
-			inRoots[line] = true
-		}
 	}
 
 	exports := make(map[string]string)
@@ -84,7 +80,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if inRoots[lp.ImportPath] && !lp.Standard && len(lp.GoFiles) > 0 {
+		if !lp.DepOnly && !lp.Standard && len(lp.GoFiles) > 0 {
 			targets = append(targets, lp)
 		}
 	}

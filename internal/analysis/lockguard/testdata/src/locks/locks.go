@@ -1,0 +1,206 @@
+// Package locks exercises lockguard: every flagged line carries an
+// expectation comment; the unflagged functions document the idioms
+// the analyzer must accept.
+package locks
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+var (
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	ch     = make(chan int)
+	stop   = make(chan struct{})
+	wg     sync.WaitGroup
+	client http.Client
+)
+
+// --- blocking operations under a held lock ---
+
+func sendUnderLock() {
+	mu.Lock()
+	ch <- 1 // want "channel send while holding mu"
+	mu.Unlock()
+}
+
+func recvUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	<-ch // want "channel receive while holding mu"
+}
+
+func selectUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want "select without default while holding mu"
+	case <-ch:
+	case <-stop:
+	}
+}
+
+func selectWithDefaultIsNonBlocking() {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func sleepUnderLock() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking call time.Sleep while holding mu"
+	mu.Unlock()
+}
+
+func waitUnderLock() {
+	mu.Lock()
+	wg.Wait() // want `blocking call WaitGroup.Wait while holding mu`
+	mu.Unlock()
+}
+
+func httpUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	resp, err := client.Get("http://example.com") // want "blocking call http.Client.Get while holding mu"
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+func netUnderLock() {
+	rw.Lock()
+	c, err := net.Dial("tcp", "localhost:0") // want "blocking call net.Dial while holding rw"
+	rw.Unlock()
+	if err != nil {
+		return
+	}
+	c.Close()
+}
+
+func rangeChannelUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	for v := range ch { // want "range over channel while holding mu"
+		_ = v
+	}
+}
+
+// unlockedBeforeBlocking is the idiom the coordinator's fair queue
+// uses: release, then wait.
+func unlockedBeforeBlocking() {
+	mu.Lock()
+	n := len(stop)
+	mu.Unlock()
+	if n == 0 {
+		<-ch
+	}
+}
+
+// branchReleased: the lock is not held on every path reaching the
+// send, so the must-analysis stays quiet.
+func branchReleased(b bool) {
+	mu.Lock()
+	if b {
+		mu.Unlock()
+		ch <- 1
+		return
+	}
+	mu.Unlock()
+}
+
+// goroutineDoesNotInheritLock: the spawned body runs without the
+// spawner's lock state.
+func goroutineDoesNotInheritLock() {
+	mu.Lock()
+	go func() {
+		<-ch
+	}()
+	mu.Unlock()
+}
+
+// --- returning with the lock held ---
+
+func leakOnEarlyReturn(b bool) {
+	mu.Lock() // want "mu can still be held when the function returns"
+	if b {
+		return
+	}
+	mu.Unlock()
+}
+
+func deferredUnlockIsFine(b bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if b {
+		return
+	}
+}
+
+func deferredClosureUnlockIsFine() {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+	}()
+}
+
+// --- re-locking ---
+
+func doubleLock() {
+	mu.Lock()
+	mu.Lock() // want "mu.Lock while mu is already locked"
+	mu.Unlock()
+	mu.Unlock()
+}
+
+func writeThenRead() {
+	rw.Lock()
+	rw.RLock() // want `rw.RLock while holding rw.Lock`
+	rw.RUnlock()
+	rw.Unlock()
+}
+
+func readThenWrite() {
+	rw.RLock()
+	rw.Lock() // want `rw.Lock while holding rw.RLock`
+	rw.Unlock()
+	rw.RUnlock()
+}
+
+func unlockBetweenLocksIsFine() {
+	mu.Lock()
+	mu.Unlock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+// --- embedded mutexes and suppression ---
+
+type guarded struct {
+	sync.Mutex
+	n int
+}
+
+func embeddedMutex(g *guarded) {
+	g.Lock()
+	ch <- g.n // want "channel send while holding g"
+	g.Unlock()
+}
+
+// replayFill is provably non-blocking (fresh buffered channel with
+// enough capacity), recorded here as the reviewed-suppression idiom.
+func replayFill(events []int) chan int {
+	out := make(chan int, len(events))
+	mu.Lock()
+	defer mu.Unlock()
+	for _, ev := range events {
+		//tlrob:allow(fresh buffered channel, capacity == len(events): cannot block)
+		out <- ev
+	}
+	return out
+}

@@ -442,7 +442,10 @@ func (c *Coordinator) forward(ctx context.Context, nodes []string, path string, 
 		go func() {
 			r := c.tryNode(ctx, node, path, body)
 			r.hedged = hedged
-			results <- r
+			select {
+			case results <- r:
+			case <-ctx.Done(): // forward already returned; drop the late answer
+			}
 		}()
 	}
 	launch(false)

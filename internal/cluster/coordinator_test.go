@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/leakcheck"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -886,4 +888,67 @@ func TestRememberRoutePreservesTerminal(t *testing.T) {
 	if c.routeEvictions.Load() <= before {
 		t.Fatal("FIFO-cap eviction not counted in route_evictions")
 	}
+}
+
+// TestForwardHedgeLoserGoroutineExits pins the lifecycle of the losing
+// forward arm itself: once forward has returned the winning answer and
+// cancelled the race, the loser's goroutine must observe the cancel and
+// exit instead of parking forever on the results channel. Regression
+// test for the hedged-forward spawn being made cancellable (it now
+// selects on ctx.Done alongside the result send).
+func TestForwardHedgeLoserGoroutineExits(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	// The slow arm wedges until its client — the coordinator's cancelled
+	// request — goes away; the fast arm answers immediately.
+	slowHit := make(chan struct{}, 1)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slowHit <- struct{}{}:
+		default:
+		}
+		// Drain the body so the server's background read — which is what
+		// detects the coordinator hanging up — can run, then wedge until
+		// that disconnect cancels the request context (bounded so a
+		// detection regression fails the test instead of hanging it).
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+			t.Error("loser arm's disconnect never reached the slow node's handler")
+		}
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"done"}`))
+	}))
+	defer fast.Close()
+
+	c, err := NewCoordinator(CoordinatorConfig{
+		Peers:          []string{slow.URL, fast.URL},
+		VNodes:         16,
+		Replicas:       2,
+		HedgeAfterMin:  20 * time.Millisecond,
+		HealthInterval: time.Hour,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r, err := c.forward(context.Background(), []string{slow.URL, fast.URL}, "/v1/runs?wait=1", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.node != fast.URL || !r.hedged {
+		t.Fatalf("winner = %q (hedged=%v), want the hedge onto %q", r.node, r.hedged, fast.URL)
+	}
+	select {
+	case <-slowHit:
+	default:
+		t.Fatal("primary arm never reached the slow node; the race was not real")
+	}
+	// The deferred leakcheck.Check verifies the loser goroutine and the
+	// wedged handler both unwind once forward's cancel propagates.
 }

@@ -1,0 +1,72 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDetectsAndSettles(t *testing.T) {
+	before := ids()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+
+	stale := settle(before, 50*time.Millisecond)
+	if len(stale) == 0 {
+		t.Fatal("blocked goroutine was not detected as a leak")
+	}
+	found := false
+	for _, st := range stale {
+		if strings.Contains(st, "TestDetectsAndSettles") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the leaking function:\n%s", strings.Join(stale, "\n\n"))
+	}
+
+	close(stop)
+	<-done
+	if stale := settle(before, settleWindow); len(stale) > 0 {
+		t.Errorf("goroutine still reported after it exited:\n%s", strings.Join(stale, "\n\n"))
+	}
+}
+
+func TestAllowlist(t *testing.T) {
+	idle := `goroutine 42 [select]:
+net/http.(*persistConn).readLoop(0xc0001a2120)
+	/usr/local/go/src/net/http/transport.go:2218 +0xd25
+created by net/http.(*Transport).dialConn in goroutine 35
+	/usr/local/go/src/net/http/transport.go:1798 +0x152f`
+	if !allowed(idle) {
+		t.Error("idle http connection reader should be allowlisted")
+	}
+	worker := `goroutine 43 [chan receive]:
+repro/internal/server.(*Server).worker(0xc000138000)
+	/root/repo/internal/server/server.go:280 +0x45
+created by repro/internal/server.(*Server).Start in goroutine 35
+	/root/repo/internal/server/server.go:267 +0x9b`
+	if allowed(worker) {
+		t.Error("a server worker goroutine must not be allowlisted")
+	}
+}
+
+func TestGoroutineID(t *testing.T) {
+	if got := goroutineID("goroutine 7 [running]:\nmain.main()"); got != "7" {
+		t.Errorf("goroutineID = %q, want 7", got)
+	}
+	if got := goroutineID("not a stanza"); got != "" {
+		t.Errorf("goroutineID on junk = %q, want empty", got)
+	}
+}
+
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	defer Check(t)()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -182,7 +182,13 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 	defer j.mu.Unlock()
 	ch := make(chan Event, 64+len(j.events))
 	for _, ev := range j.events {
-		ch <- ev
+		// Capacity covers the full replay, so the default arm is
+		// unreachable; it makes the never-blocks-under-j.mu property
+		// explicit instead of an arithmetic fact a reader must rederive.
+		select {
+		case ch <- ev:
+		default:
+		}
 	}
 	if j.status.terminal() {
 		close(ch)

@@ -22,6 +22,7 @@ func StartHTTP(addr string, h http.Handler) (*http.Server, string, <-chan error,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
+	//tlrob:allow(bounded: Serve returns on srv.Shutdown/Close and the terminal error parks in the buffered errCh)
 	go func() { errCh <- srv.Serve(ln) }()
 	return srv, ln.Addr().String(), errCh, nil
 }

@@ -229,11 +229,11 @@ type Server struct {
 	// simTimedJobs counts the jobs whose wall time entered simNanosSum —
 	// jobs canceled while still queued never run and must not dilute the
 	// mean service time that RetryAfterSeconds reports.
-	simTimedJobs atomic.Uint64
-	peerFillHits, peerFillMisses, peerServed  atomic.Uint64
-	peerStored                                atomic.Uint64
-	replicaPushed, replicaFailed              atomic.Uint64
-	replicaWG                                 sync.WaitGroup
+	simTimedJobs                             atomic.Uint64
+	peerFillHits, peerFillMisses, peerServed atomic.Uint64
+	peerStored                               atomic.Uint64
+	replicaPushed, replicaFailed             atomic.Uint64
+	replicaWG                                sync.WaitGroup
 
 	// Per-cause thread-cycle totals aggregated over every sweep this
 	// process ran, indexed by telemetry.Cause; exposed on /metrics.
@@ -560,6 +560,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
+	//tlrob:allow(joiner: exits when the worker and replica WaitGroups drain; Shutdown joins it via done on both arms below)
 	go func() {
 		s.workersWG.Wait()
 		s.replicaWG.Wait() // in-flight replica pushes finish too
